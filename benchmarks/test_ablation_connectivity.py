@@ -1,0 +1,87 @@
+"""Ablation (DESIGN.md) — who gains from social context?
+
+The paper's motivation cuts both ways: social interest is the strongest
+feature *when the author follows anybody*, while isolated information
+seekers must live off recency and popularity.  This bench buckets the test
+population by followee count and compares our method against the
+on-the-fly baseline per bucket.
+
+Expected shape: our advantage over the baseline is concentrated in the
+connected buckets; among isolated users the two methods converge (both are
+popularity/recency-driven there).
+"""
+
+from repro.eval.metrics import accuracy_by_connectivity
+from repro.eval.reporting import format_table
+
+THRESHOLDS = (0, 3, 10)
+
+
+def _bucketed(runs, variant):
+    merged = {}
+    for index, context in enumerate(runs.contexts):
+        run = runs.run(index, variant)
+        buckets = accuracy_by_connectivity(
+            context.test_dataset.tweets,
+            run.predictions,
+            context.world.graph,
+            thresholds=THRESHOLDS,
+        )
+        for label, report_ in buckets.items():
+            correct, total = merged.get(label, (0.0, 0))
+            merged[label] = (
+                correct + report_.mention_accuracy * report_.num_mentions,
+                total + report_.num_mentions,
+            )
+    return {
+        label: (correct / total, total)
+        for label, (correct, total) in merged.items()
+        if total
+    }
+
+
+def test_ablation_connectivity(benchmark, runs, report):
+    ours = _bucketed(runs, "ours")
+    baseline = _bucketed(runs, "on-the-fly")
+
+    rows = []
+    gaps = {}
+    for label in ours:
+        ours_accuracy, count = ours[label]
+        base_accuracy, _ = baseline[label]
+        gaps[label] = ours_accuracy - base_accuracy
+        rows.append(
+            {
+                "author bucket": label,
+                "#mentions": count,
+                "ours": round(ours_accuracy, 4),
+                "on-the-fly": round(base_accuracy, 4),
+                "advantage": round(ours_accuracy - base_accuracy, 4),
+            }
+        )
+    report(
+        "ablation_connectivity",
+        format_table(rows, title="Ablation — accuracy by author connectivity "
+                                 f"(avg of {len(runs.contexts)} seeds)"),
+    )
+
+    context = runs.contexts[0]
+    run = runs.run(0, "ours")
+    benchmark(
+        accuracy_by_connectivity,
+        context.test_dataset.tweets,
+        run.predictions,
+        context.world.graph,
+    )
+
+    # the social advantage concentrates among connected authors
+    isolated_label = "followees 0-2"
+    connected_labels = [label for label in gaps if label != isolated_label]
+    assert connected_labels
+    assert max(gaps[label] for label in connected_labels) > gaps.get(
+        isolated_label, 0.0
+    )
+    # connected users link better than isolated ones under our method
+    connected_best = max(ours[label][0] for label in connected_labels)
+    if isolated_label in ours:
+        assert connected_best > ours[isolated_label][0]

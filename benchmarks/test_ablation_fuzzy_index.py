@@ -1,0 +1,76 @@
+"""Ablation (DESIGN.md) — fuzzy surface index: PassJoin vs SymSpell.
+
+Candidate generation needs edit-distance lookups over the KB surface
+vocabulary (Sec. 3.2.2).  Two classic designs with opposite trade-offs:
+
+* segment index (PassJoin, the paper's reference [36]) — small index,
+  lookup cost grows with the candidate buckets scanned;
+* deletion index (SymSpell) — lookup probes only the query's deletion
+  neighborhood, but the index stores every surface's neighborhood.
+
+Expected shape: identical answers; the deletion index is several times
+larger and faster to query.
+"""
+
+import random
+import time
+
+from repro.eval.reporting import format_table
+from repro.kb.builder import KBProfile, SyntheticWikipediaBuilder
+from repro.kb.deletion_index import DeletionIndex
+from repro.kb.surface_index import SegmentIndex
+
+NUM_QUERIES = 2000
+
+
+def test_ablation_fuzzy_index(benchmark, report):
+    synthetic = SyntheticWikipediaBuilder(
+        KBProfile(num_topics=8, entities_per_topic=40, ambiguous_groups=60, seed=5)
+    ).build()
+    surfaces = list(synthetic.kb.mentions())
+    rng = random.Random(9)
+    queries = []
+    letters = "abcdefghijklmnopqrstuvwxyz"
+    for _ in range(NUM_QUERIES):
+        surface = rng.choice(surfaces)
+        position = rng.randrange(len(surface))
+        queries.append(surface[:position] + rng.choice(letters) + surface[position + 1 :])
+
+    rows = []
+    results = {}
+    timings = {}
+    for name, factory in [
+        ("segment (PassJoin)", lambda: SegmentIndex(surfaces, max_edits=1)),
+        ("deletion (SymSpell)", lambda: DeletionIndex(surfaces, max_edits=1)),
+    ]:
+        started = time.perf_counter()
+        index = factory()
+        build_s = time.perf_counter() - started
+        started = time.perf_counter()
+        answers = [tuple(sorted(index.lookup(q))) for q in queries]
+        lookup_us = (time.perf_counter() - started) / NUM_QUERIES * 1e6
+        results[name] = answers
+        timings[name] = lookup_us
+        size = index.num_index_entries()
+        rows.append(
+            {
+                "index": name,
+                "surfaces": len(surfaces),
+                "build (s)": round(build_s, 3),
+                "inverted entries": size,
+                "lookup (µs)": round(lookup_us, 1),
+            }
+        )
+    report(
+        "ablation_fuzzy_index",
+        format_table(rows, title="Ablation — fuzzy surface index designs"),
+    )
+
+    index = SegmentIndex(surfaces, max_edits=1)
+    benchmark(index.lookup, queries[0])
+
+    # identical answers on every query
+    assert results["segment (PassJoin)"] == results["deletion (SymSpell)"]
+    # SymSpell queries faster, stores more
+    assert timings["deletion (SymSpell)"] < timings["segment (PassJoin)"]
+    assert rows[1]["inverted entries"] > rows[0]["inverted entries"]

@@ -1,0 +1,71 @@
+"""Appendix C.1 — accuracy per entity category.
+
+Paper: Person 71.35% of mentions, Movie&Music 15.4%, Location 8.38%,
+Company 2.6%, Product 2.27%; per-category accuracies are similar (best
+74.32%, worst 71.32%) because no category-specific feature is used.
+Expected shape: the major categories score within a narrow band and the
+category mix mirrors the configured proportions.
+"""
+
+from repro.eval.metrics import accuracy_by_category
+from repro.eval.reporting import format_table
+
+
+def test_appxc_category_accuracy(benchmark, runs, report):
+    totals = {}
+    correct = {}
+    for index, context in enumerate(runs.contexts):
+        run = runs.run(index, "ours")
+        kb = context.world.kb
+        for tweet in context.test_dataset.tweets:
+            predicted = run.predictions.get(tweet.tweet_id, [])
+            for mention_index, mention in enumerate(tweet.mentions):
+                if mention.true_entity is None:
+                    continue
+                category = str(kb.entity(mention.true_entity).category)
+                totals[category] = totals.get(category, 0) + 1
+                guess = (
+                    predicted[mention_index]
+                    if mention_index < len(predicted)
+                    else None
+                )
+                if guess == mention.true_entity:
+                    correct[category] = correct.get(category, 0) + 1
+
+    grand_total = sum(totals.values())
+    rows = [
+        {
+            "category": category,
+            "share": f"{count / grand_total:.1%}",
+            "mention accuracy": round(correct.get(category, 0) / count, 4),
+        }
+        for category, count in sorted(totals.items(), key=lambda kv: -kv[1])
+    ]
+    report(
+        "appxc_categories",
+        format_table(rows, title="Appendix C.1 — accuracy per entity category "
+                                 f"(avg of {len(runs.contexts)} seeds)"),
+    )
+
+    # benchmark the per-category scorer itself
+    context = runs.contexts[0]
+    run = runs.run(0, "ours")
+    benchmark(
+        accuracy_by_category,
+        context.test_dataset.tweets,
+        run.predictions,
+        context.world.kb,
+    )
+
+    # shape: Person dominates the mix, like the paper's 71%
+    assert rows[0]["category"] == "Person"
+    # no systematic category effect: the dominant category scores like the
+    # pooled rest.  (Per-category numbers at this scale carry composition
+    # noise — each minor category has only a handful of entities, so which
+    # of them happen to carry ambiguous surfaces dominates; the paper's
+    # corpus is orders of magnitude larger.)
+    person_accuracy = correct.get("Person", 0) / totals["Person"]
+    other_total = sum(c for cat, c in totals.items() if cat != "Person")
+    other_correct = sum(c for cat, c in correct.items() if cat != "Person")
+    assert other_total > 0
+    assert abs(person_accuracy - other_correct / other_total) < 0.12

@@ -1,0 +1,42 @@
+"""Fig. 4(d) — necessity of the recency propagation model.
+
+Paper: linking with propagated recency beats raw sliding-window recency
+(the NBA burst lifts Michael Jordan (basketball); ICML lifts the ML expert).
+Expected shape: propagation on ≥ propagation off on both accuracy metrics.
+"""
+
+from repro.eval.reporting import format_table
+
+VARIANTS = {
+    "without propagation": "ours:recency_propagation=false",
+    "with propagation": "ours:recency_propagation=true",
+}
+
+
+def test_fig4d_recency_propagation(benchmark, runs, report):
+    reports = {name: runs.accuracy(variant) for name, variant in VARIANTS.items()}
+
+    rows = [
+        {
+            "recency model": name,
+            "mention accuracy": round(rep.mention_accuracy, 4),
+            "tweet accuracy": round(rep.tweet_accuracy, 4),
+        }
+        for name, rep in reports.items()
+    ]
+    report(
+        "fig4d_propagation",
+        format_table(rows, title="Fig 4(d) — recency propagation "
+                                 f"(avg of {len(runs.contexts)} seeds)"),
+    )
+
+    # benchmark one propagation round on the real network
+    context = runs.contexts[0]
+    network = context.propagation_network
+    seed_entity = context.ckb.linked_entities()[0]
+    benchmark(network.propagate, {seed_entity: 10.0})
+
+    with_prop = reports["with propagation"]
+    without = reports["without propagation"]
+    assert with_prop.mention_accuracy >= without.mention_accuracy
+    assert with_prop.tweet_accuracy >= without.tweet_accuracy

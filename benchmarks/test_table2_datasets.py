@@ -1,0 +1,41 @@
+"""Table 2 — statistics of the activity-filtered tweet datasets.
+
+Paper: D10 311,835 users / 6.76M tweets down to D90 4,422 / 0.82M, plus a
+200-user inactive test set (649 tweets, 3.25 tweets/user, 1.36 mentions per
+tweet).  Our synthetic stream reproduces the *shape*: dataset sizes shrink
+monotonically with the activity threshold θ and the test set holds a few
+tweets per inactive user.
+"""
+
+from repro.eval.reporting import format_table
+from repro.stream.dataset import split_by_activity
+
+
+def test_table2_dataset_statistics(benchmark, contexts, report):
+    context = contexts[0]
+    catalog = benchmark(split_by_activity, context.world.tweets)
+
+    rows = []
+    previous = None
+    for row in context.catalog.table2_rows():
+        rows.append(
+            {
+                "dataset": row["name"],
+                "#user": row["users"],
+                "#tweet": row["tweets"],
+                "tweets/user": round(row["tweets_per_user"], 2),
+                "mentions/tweet": round(row["mentions_per_tweet"], 2),
+            }
+        )
+    report("table2_datasets", format_table(rows, title="Table 2 — tweet datasets"))
+
+    # shape assertions: monotone shrink with theta, small test set
+    sizes = [r["#tweet"] for r in rows[:-1]]
+    assert sizes == sorted(sizes, reverse=True)
+    users = [r["#user"] for r in rows[:-1]]
+    assert users == sorted(users, reverse=True)
+    test_row = rows[-1]
+    assert test_row["dataset"] == "Dtest"
+    assert test_row["tweets/user"] < 10
+    assert 1.0 <= test_row["mentions/tweet"] <= 2.0
+    assert catalog.test.num_users == context.catalog.test.num_users

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 660 editable installs (``pip install -e .`` via pyproject alone) cannot
+build the editable wheel.  This shim lets pip fall back to the legacy
+``setup.py develop`` path: ``pip install -e . --no-use-pep517``.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

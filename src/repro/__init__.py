@@ -1,0 +1,95 @@
+"""repro — reproduction of *Microblog Entity Linking with Social Temporal
+Context* (Hua, Zheng, Zhou; SIGMOD 2015).
+
+Quickstart::
+
+    from repro import build_experiment
+
+    context = build_experiment()        # KB + users + stream + linkers
+    ours = context.social_temporal()
+    run = ours.run(context.test_dataset)
+
+See README.md for the architecture overview and DESIGN.md for the
+paper-to-module map.
+"""
+
+from repro.config import DAY, DEFAULT_CONFIG, DEFAULT_MAX_HOPS, LinkerConfig
+from repro.core import (
+    CandidateGenerator,
+    InteractiveLinkingSession,
+    LinkResult,
+    OnlineReachability,
+    RecencyPropagationNetwork,
+    ScoredCandidate,
+    SocialTemporalLinker,
+)
+from repro.core.batch import LinkRequest, MicroBatchLinker
+from repro.core.pipeline import AnnotatedText, TextLinkingPipeline
+from repro.baselines import CollectiveLinker, OnTheFlyLinker
+from repro.eval import build_experiment, mention_and_tweet_accuracy
+from repro.graph import (
+    DiGraph,
+    DynamicTransitiveClosure,
+    GrailIndex,
+    GrailPrunedReachability,
+    TransitiveClosure,
+    TwoHopCover,
+    build_transitive_closure_incremental,
+    build_transitive_closure_naive,
+    build_two_hop_cover,
+    weighted_reachability,
+)
+from repro.io import load_world, save_world
+from repro.kb import (
+    ComplementedKnowledgebase,
+    Knowledgebase,
+    KBProfile,
+    SyntheticWikipediaBuilder,
+)
+from repro.search import PersonalizedSearchEngine, TweetStore
+from repro.stream import StreamProfile, SyntheticWorld, Tweet
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnnotatedText",
+    "CandidateGenerator",
+    "CollectiveLinker",
+    "ComplementedKnowledgebase",
+    "DAY",
+    "DEFAULT_CONFIG",
+    "DEFAULT_MAX_HOPS",
+    "DiGraph",
+    "DynamicTransitiveClosure",
+    "GrailIndex",
+    "GrailPrunedReachability",
+    "InteractiveLinkingSession",
+    "KBProfile",
+    "Knowledgebase",
+    "LinkRequest",
+    "LinkResult",
+    "LinkerConfig",
+    "MicroBatchLinker",
+    "OnTheFlyLinker",
+    "OnlineReachability",
+    "PersonalizedSearchEngine",
+    "RecencyPropagationNetwork",
+    "ScoredCandidate",
+    "SocialTemporalLinker",
+    "StreamProfile",
+    "SyntheticWikipediaBuilder",
+    "SyntheticWorld",
+    "TextLinkingPipeline",
+    "TransitiveClosure",
+    "Tweet",
+    "TweetStore",
+    "TwoHopCover",
+    "build_experiment",
+    "build_transitive_closure_incremental",
+    "build_transitive_closure_naive",
+    "build_two_hop_cover",
+    "load_world",
+    "mention_and_tweet_accuracy",
+    "save_world",
+    "weighted_reachability",
+]

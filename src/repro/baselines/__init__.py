@@ -1,0 +1,15 @@
+"""Published baselines the paper compares against (Sec. 5.1.3).
+
+* :class:`OnTheFlyLinker` — TAGME-style [14]: intra-tweet features only
+  (popularity prior, context similarity, topical-coherence voting),
+  processed tweet by tweet.
+* :class:`CollectiveLinker` — Shen et al. KDD'13-style [2]: batches all of
+  a user's tweets, propagates interest over a WLM candidate graph, links
+  collectively.  Also used offline to complement the knowledgebase.
+"""
+
+from repro.baselines.common import IntraTweetScorer
+from repro.baselines.collective import CollectiveLinker
+from repro.baselines.onthefly import OnTheFlyLinker
+
+__all__ = ["CollectiveLinker", "IntraTweetScorer", "OnTheFlyLinker"]

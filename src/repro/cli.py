@@ -1,0 +1,248 @@
+"""Command-line interface.
+
+Subcommands::
+
+    repro generate  --out world.json.gz [--seed N --users N --topics N ...]
+    repro datasets  --world world.json.gz
+    repro evaluate  --world world.json.gz [--method ours ...]
+    repro link      --world world.json.gz --surface jordan --user 7 --day 90
+    repro search    --world world.json.gz --query "jordan dunk" --user 7
+
+``generate`` builds and persists a synthetic world; the other commands
+load one and run the corresponding piece of the pipeline.  Everything
+prints plain aligned tables (``repro.eval.reporting``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.config import DAY
+from repro.eval.context import build_experiment
+from repro.eval.metrics import mention_and_tweet_accuracy
+from repro.eval.reporting import format_table
+from repro.io import load_world, save_world
+from repro.kb.builder import KBProfile
+from repro.search import PersonalizedSearchEngine, TweetStore
+from repro.stream.generator import StreamProfile, SyntheticWorld
+
+METHODS = ("ours", "onthefly", "collective")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Microblog entity linking with social temporal context "
+        "(SIGMOD 2015 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate a synthetic world")
+    generate.add_argument("--out", required=True, help="output path (.json[.gz])")
+    generate.add_argument("--seed", type=int, default=11)
+    generate.add_argument("--users", type=int, default=400)
+    generate.add_argument("--topics", type=int, default=8)
+    generate.add_argument("--entities-per-topic", type=int, default=10)
+    generate.add_argument("--horizon-days", type=float, default=120.0)
+
+    datasets = commands.add_parser("datasets", help="print Table-2 statistics")
+    datasets.add_argument("--world", required=True)
+
+    evaluate = commands.add_parser("evaluate", help="accuracy on the test set")
+    evaluate.add_argument("--world", required=True)
+    evaluate.add_argument(
+        "--method", choices=METHODS + ("all",), default="all"
+    )
+    evaluate.add_argument("--threshold", type=int, default=10)
+    evaluate.add_argument(
+        "--complement", choices=("collective", "truth"), default="collective"
+    )
+
+    link = commands.add_parser("link", help="link one mention")
+    link.add_argument("--world", required=True)
+    link.add_argument("--surface", required=True)
+    link.add_argument("--user", type=int, required=True)
+    link.add_argument("--day", type=float, required=True, help="query time (days)")
+    link.add_argument("--top-k", type=int, default=3)
+
+    search = commands.add_parser("search", help="personalized tweet search")
+    search.add_argument("--world", required=True)
+    search.add_argument("--query", required=True)
+    search.add_argument("--user", type=int, required=True)
+    search.add_argument("--day", type=float, default=None,
+                        help="query time in days (default: end of horizon)")
+    search.add_argument("--limit", type=int, default=5)
+
+    report = commands.add_parser(
+        "report", help="consolidate benchmark result tables into one report"
+    )
+    report.add_argument(
+        "--results", default="benchmarks/results",
+        help="directory of archived benchmark tables",
+    )
+    report.add_argument("--out", default="REPORT.md")
+
+    validate = commands.add_parser(
+        "validate", help="measure a world's structural properties"
+    )
+    validate.add_argument("--world", required=True)
+    return parser
+
+
+# ---------------------------------------------------------------------- #
+# subcommands
+# ---------------------------------------------------------------------- #
+def _cmd_generate(args: argparse.Namespace) -> int:
+    world = SyntheticWorld.generate(
+        kb_profile=KBProfile(
+            num_topics=args.topics,
+            entities_per_topic=args.entities_per_topic,
+            # ambiguous surfaces draw one candidate per topic; clamp to the
+            # requested topic count for small worlds
+            ambiguity=max(2, min(4, args.topics)),
+            seed=args.seed,
+        ),
+        stream_profile=StreamProfile(
+            num_users=args.users,
+            horizon=args.horizon_days * DAY,
+            seed=args.seed,
+        ),
+    )
+    save_world(world, args.out)
+    print(
+        f"world written to {args.out}: {world.num_users} users, "
+        f"{len(world.tweets)} tweets, {world.kb.num_entities} entities"
+    )
+    return 0
+
+
+def _cmd_datasets(args: argparse.Namespace) -> int:
+    context = build_experiment(
+        world=load_world(args.world), complement_method="truth"
+    )
+    print(format_table(context.catalog.table2_rows(), title="tweet datasets"))
+    return 0
+
+
+def _cmd_evaluate(args: argparse.Namespace) -> int:
+    context = build_experiment(
+        world=load_world(args.world),
+        threshold=args.threshold,
+        complement_method=args.complement,
+    )
+    selected = METHODS if args.method == "all" else (args.method,)
+    adapters = {
+        "ours": context.social_temporal,
+        "onthefly": context.onthefly,
+        "collective": context.collective,
+    }
+    rows = []
+    for name in selected:
+        run = adapters[name]().run(context.test_dataset)
+        accuracy = mention_and_tweet_accuracy(
+            context.test_dataset.tweets, run.predictions
+        )
+        rows.append(
+            {
+                "method": name,
+                "mention": round(accuracy.mention_accuracy, 4),
+                "tweet": round(accuracy.tweet_accuracy, 4),
+                "ms/tweet": round(run.seconds_per_tweet * 1e3, 4),
+            }
+        )
+    print(format_table(rows, title=f"test-set accuracy (D{args.threshold}, "
+                                   f"{args.complement} complementation)"))
+    return 0
+
+
+def _cmd_link(args: argparse.Namespace) -> int:
+    world = load_world(args.world)
+    context = build_experiment(world=world, complement_method="truth")
+    linker = context.social_temporal()._linker
+    result = linker.link(args.surface, user=args.user, now=args.day * DAY)
+    if not result.ranked:
+        print(f"no candidates for surface {args.surface!r}")
+        return 1
+    rows = [
+        {
+            "entity": world.kb.entity(c.entity_id).title,
+            "score": round(c.score, 4),
+            "interest": round(c.interest, 4),
+            "recency": round(c.recency, 4),
+            "popularity": round(c.popularity, 4),
+        }
+        for c in result.ranked[: args.top_k]
+    ]
+    print(format_table(rows, title=f"{args.surface!r} by user {args.user} "
+                                   f"at day {args.day:g}"))
+    return 0
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    world = load_world(args.world)
+    context = build_experiment(world=world, complement_method="truth")
+    engine = PersonalizedSearchEngine(
+        context.social_temporal()._linker, TweetStore(world.tweets)
+    )
+    now = (args.day * DAY) if args.day is not None else world.timeline.horizon
+    response = engine.search(args.query, user=args.user, now=now, limit=args.limit)
+    if response.used_fallback:
+        print("(no linkable mention — keyword fallback)")
+    for candidate in response.linked_entities:
+        print(f"linked: {world.kb.entity(candidate.entity_id).title} "
+              f"(score {candidate.score:.3f})")
+    rows = [
+        {
+            "score": round(hit.score, 3),
+            "day": round(hit.tweet.timestamp / DAY, 1),
+            "user": hit.tweet.user,
+            "text": hit.tweet.text[:60],
+        }
+        for hit in response.hits
+    ]
+    print(format_table(rows, title=f"results for {args.query!r}"))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.eval.report_builder import collect_results, write_report
+
+    if not collect_results(args.results):
+        print(
+            f"no result tables under {args.results!r}; "
+            "run `pytest benchmarks/ --benchmark-only` first"
+        )
+        return 1
+    path = write_report(args.results, args.out)
+    print(f"report written to {path}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    from repro.stream.validation import validate_world
+
+    report = validate_world(load_world(args.world))
+    print(format_table(report.as_rows(), title="world structural properties"))
+    return 0
+
+
+_HANDLERS = {
+    "generate": _cmd_generate,
+    "datasets": _cmd_datasets,
+    "evaluate": _cmd_evaluate,
+    "link": _cmd_link,
+    "search": _cmd_search,
+    "report": _cmd_report,
+    "validate": _cmd_validate,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return _HANDLERS[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

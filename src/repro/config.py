@@ -1,0 +1,114 @@
+"""Default parameters of the entity-linking framework.
+
+The values mirror Table 3 of the paper ("Default values of parameters"):
+
+====================  =====  ==========================================
+parameter             value  meaning
+====================  =====  ==========================================
+``alpha``             0.6    weight of user interest :math:`S_{in}`
+``beta``              0.3    weight of entity recency :math:`S_r`
+``gamma``             0.1    weight of entity popularity :math:`S_p`
+``window``            3 d    sliding window :math:`\\tau` for recency
+``burst_threshold``   10     :math:`\\theta_1`, min recent tweets for a burst
+``relatedness_threshold`` 0.6 :math:`\\theta_2`, min WLM weight kept in the
+                             recency propagation network
+====================  =====  ==========================================
+
+The paper's Eq. 1 and Table 3 disagree on which of ``beta``/``gamma`` is
+recency vs. popularity; we follow Table 3 (and Table 4 / Appendix D, which
+are only self-consistent that way): **alpha = interest, beta = recency,
+gamma = popularity**.  See DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+#: Seconds in one day; timestamps throughout the library are POSIX seconds.
+DAY = 86_400.0
+
+#: Default maximum number of hops for reachability (small-world 4.12 steps).
+DEFAULT_MAX_HOPS = 4
+
+#: Table 3's burst threshold, calibrated by the authors for a corpus of
+#: ~240k tweets/day.  The synthetic streams here run at a few hundred
+#: tweets/day, so :class:`LinkerConfig` scales the default down (see
+#: DESIGN.md §5); the paper's value is kept for reference and tests.
+PAPER_BURST_THRESHOLD = 10
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkerConfig:
+    """Immutable bag of tunables for :class:`repro.core.SocialTemporalLinker`.
+
+    All weights must be non-negative and ``alpha + beta + gamma`` must equal
+    one (validated in ``__post_init__``).
+    """
+
+    #: Weight of user interest :math:`S_{in}(u, e)`.
+    alpha: float = 0.6
+    #: Weight of entity recency :math:`S_r(e)`.
+    beta: float = 0.3
+    #: Weight of entity popularity :math:`S_p(e)`.
+    gamma: float = 0.1
+    #: Sliding window :math:`\tau` (seconds) for recency, default 3 days.
+    window: float = 3 * DAY
+    #: :math:`\theta_1` — minimum number of recent tweets to call a burst.
+    #: Paper default is 10 at ~240k tweets/day (``PAPER_BURST_THRESHOLD``);
+    #: scaled to the synthetic stream density used throughout this repo.
+    burst_threshold: int = 3
+    #: :math:`\theta_2` — minimum WLM relatedness kept in the propagation net.
+    relatedness_threshold: float = 0.6
+    #: :math:`\lambda` — restart probability in recency propagation (Eq. 11).
+    propagation_lambda: float = 0.5
+    #: Maximum hops ``H`` considered for weighted reachability.
+    max_hops: int = DEFAULT_MAX_HOPS
+    #: Number of influential users kept per community (:math:`|U^*_e|`).
+    influential_users: int = 3
+    #: Influence estimator: ``"entropy"`` (Eq. 7) or ``"tfidf"`` (Eq. 6).
+    influence_method: str = "entropy"
+    #: Enable recency reinforcement between related entities (Fig. 4(d)).
+    recency_propagation: bool = True
+    #: Edit-distance threshold for fuzzy candidate generation.
+    fuzzy_edit_distance: int = 1
+    #: Number of candidates returned by online inference.
+    top_k: int = 1
+
+    def __post_init__(self) -> None:
+        weights = (self.alpha, self.beta, self.gamma)
+        if any(w < 0 for w in weights):
+            raise ValueError(f"feature weights must be non-negative, got {weights}")
+        if abs(sum(weights) - 1.0) > 1e-9:
+            raise ValueError(f"alpha + beta + gamma must be 1, got {sum(weights)}")
+        if self.window <= 0:
+            raise ValueError("window must be positive")
+        if self.burst_threshold < 0:
+            raise ValueError("burst_threshold must be non-negative")
+        if not 0.0 <= self.relatedness_threshold <= 1.0:
+            raise ValueError("relatedness_threshold must be in [0, 1]")
+        if not 0.0 <= self.propagation_lambda <= 1.0:
+            raise ValueError("propagation_lambda must be in [0, 1]")
+        if self.max_hops < 1:
+            raise ValueError("max_hops must be at least 1")
+        if self.influential_users < 1:
+            raise ValueError("influential_users must be at least 1")
+        if self.influence_method not in ("entropy", "tfidf"):
+            raise ValueError(f"unknown influence method {self.influence_method!r}")
+        if self.fuzzy_edit_distance < 0:
+            raise ValueError("fuzzy_edit_distance must be non-negative")
+        if self.top_k < 1:
+            raise ValueError("top_k must be at least 1")
+
+    def with_weights(self, alpha: float, beta: float, gamma: float) -> "LinkerConfig":
+        """Return a copy with the three feature weights replaced."""
+        return dataclasses.replace(self, alpha=alpha, beta=beta, gamma=gamma)
+
+    @property
+    def no_interest_bound(self) -> float:
+        """Score ceiling ``beta + gamma`` for entities the user has no
+        interest in (Appendix D); used as the abstention threshold."""
+        return self.beta + self.gamma
+
+
+#: Shared default configuration (paper Table 3).
+DEFAULT_CONFIG = LinkerConfig()

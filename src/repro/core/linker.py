@@ -1,0 +1,242 @@
+"""The social-temporal entity linker — online inference (Sec. 3.2.2).
+
+Given a mention, its author, and the current time, the linker
+
+1. generates the candidate set :math:`E_m` (exact + fuzzy surface lookup);
+2. scores every candidate by Eq. 1 combining user interest (weighted
+   reachability to influential community members), entity recency
+   (sliding window, optionally cluster-propagated) and entity popularity;
+3. returns the ranked candidates, the top-k, and the Appendix-D abstention
+   signal (no candidate scoring above the ``β + γ`` no-interest bound).
+
+Each mention is linked independently — no intra- or inter-tweet joint
+inference — which is what makes the framework embarrassingly parallel and
+fast enough for streaming use.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.config import DEFAULT_CONFIG, LinkerConfig
+from repro.core.candidates import CandidateGenerator
+from repro.core.influence import top_influential_users
+from repro.core.interest import (
+    OnlineReachability,
+    ReachabilityProvider,
+    normalized_interest,
+)
+from repro.core.popularity import popularity_scores
+from repro.core.recency import (
+    RecencyPropagationNetwork,
+    propagated_recency,
+    sliding_window_recency,
+)
+from repro.core.scoring import ScoredCandidate, combine_scores
+from repro.graph.digraph import DiGraph
+from repro.kb.complemented import ComplementedKnowledgebase
+from repro.stream.tweet import Tweet
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkResult:
+    """Outcome of linking one mention."""
+
+    surface: str
+    user: int
+    timestamp: float
+    ranked: Tuple[ScoredCandidate, ...]
+
+    @property
+    def candidates(self) -> Tuple[int, ...]:
+        return tuple(c.entity_id for c in self.ranked)
+
+    @property
+    def best(self) -> Optional[ScoredCandidate]:
+        """Highest-scoring candidate, or ``None`` when :math:`E_m` is empty."""
+        return self.ranked[0] if self.ranked else None
+
+    def top_k(self, k: int, threshold: Optional[float] = None) -> List[ScoredCandidate]:
+        """Top-k candidates, optionally dropping scores ≤ ``threshold``.
+
+        Passing ``config.no_interest_bound`` implements the Appendix-D
+        false-positive guard for not-yet-known entity meanings.
+        """
+        selected = self.ranked[:k]
+        if threshold is not None:
+            selected = tuple(c for c in selected if c.score > threshold)
+        return list(selected)
+
+
+@dataclasses.dataclass(frozen=True)
+class MentionResult:
+    """A mention's link result paired with its position in the tweet."""
+
+    mention_index: int
+    result: LinkResult
+
+
+class SocialTemporalLinker:
+    """Online entity linker over a complemented KB and a follow graph."""
+
+    def __init__(
+        self,
+        ckb: ComplementedKnowledgebase,
+        graph: DiGraph,
+        config: LinkerConfig = DEFAULT_CONFIG,
+        reachability: Optional[ReachabilityProvider] = None,
+        propagation_network: Optional[RecencyPropagationNetwork] = None,
+        candidate_generator: Optional[CandidateGenerator] = None,
+    ) -> None:
+        """Wire the linker.
+
+        Parameters
+        ----------
+        reachability:
+            Pre-built index (:class:`~repro.graph.TransitiveClosure` or
+            :class:`~repro.graph.TwoHopCover`); defaults to cached online
+            BFS, which needs no pre-computation but has higher latency.
+        propagation_network:
+            Pre-built recency clusters; built from the KB on demand when
+            ``config.recency_propagation`` is on.
+        """
+        self._ckb = ckb
+        self._graph = graph
+        self._config = config
+        self._reachability = reachability or OnlineReachability(
+            graph, max_hops=config.max_hops
+        )
+        self._candidates = candidate_generator or CandidateGenerator(
+            ckb.kb, max_edits=config.fuzzy_edit_distance
+        )
+        if propagation_network is None and config.recency_propagation:
+            propagation_network = RecencyPropagationNetwork(
+                ckb.kb,
+                relatedness_threshold=config.relatedness_threshold,
+                propagation_lambda=config.propagation_lambda,
+            )
+        self._propagation = propagation_network
+        # (entity, candidate set) -> (entity version, influential users)
+        self._influential_cache: Dict[Tuple[int, Tuple[int, ...]], Tuple[int, List[int]]] = {}
+        self._entity_versions: Dict[int, int] = {}
+
+    # ------------------------------------------------------------------ #
+    # properties
+    # ------------------------------------------------------------------ #
+    @property
+    def config(self) -> LinkerConfig:
+        return self._config
+
+    @property
+    def ckb(self) -> ComplementedKnowledgebase:
+        return self._ckb
+
+    @property
+    def candidate_generator(self) -> CandidateGenerator:
+        return self._candidates
+
+    # ------------------------------------------------------------------ #
+    # online inference
+    # ------------------------------------------------------------------ #
+    def link(self, surface: str, user: int, now: float) -> LinkResult:
+        """Link one mention issued by ``user`` at time ``now``."""
+        candidates = self._candidates.candidates(surface)
+        if not candidates:
+            return LinkResult(surface=surface, user=user, timestamp=now, ranked=())
+        interest = self._interest_scores(user, candidates)
+        recency = self._recency_scores(candidates, now)
+        popularity = popularity_scores(self._ckb, candidates)
+        ranked = combine_scores(candidates, interest, recency, popularity, self._config)
+        return LinkResult(
+            surface=surface, user=user, timestamp=now, ranked=tuple(ranked)
+        )
+
+    def link_tweet(self, tweet: Tweet) -> List[MentionResult]:
+        """Link every mention of a tweet independently."""
+        return [
+            MentionResult(
+                mention_index=index,
+                result=self.link(mention.surface, tweet.user, tweet.timestamp),
+            )
+            for index, mention in enumerate(tweet.mentions)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # feedback / knowledge update (Sec. 3.2.2, Appendix D)
+    # ------------------------------------------------------------------ #
+    def confirm_link(
+        self, entity_id: int, user: int, timestamp: float, tweet_id: int = -1
+    ) -> None:
+        """Record a user-confirmed link and refresh dependent knowledge.
+
+        Appends the tweet to :math:`D_e` (hence :math:`U_e`, counts and the
+        recency window) and invalidates cached influential-user rankings
+        that involve the entity.
+        """
+        self._ckb.link_tweet(entity_id, user, timestamp, tweet_id)
+        self._entity_versions[entity_id] = self._entity_versions.get(entity_id, 0) + 1
+
+    def invalidate_influence_cache(self) -> None:
+        """Drop every cached influential-user ranking.
+
+        Call after mutating the complemented KB outside the linker (e.g.
+        :meth:`~repro.kb.complemented.ComplementedKnowledgebase.prune_before`)
+        — per-entity versioning only tracks :meth:`confirm_link`.
+        """
+        self._influential_cache.clear()
+        self._entity_versions.clear()
+
+    # ------------------------------------------------------------------ #
+    # feature computation
+    # ------------------------------------------------------------------ #
+    def _interest_scores(
+        self, user: int, candidates: Sequence[int]
+    ) -> Dict[int, float]:
+        key_suffix = tuple(sorted(candidates))
+        influential_by_entity = {
+            entity_id: self._influential_users(entity_id, key_suffix, candidates)
+            for entity_id in candidates
+        }
+        return normalized_interest(self._reachability, user, influential_by_entity)
+
+    def _influential_users(
+        self,
+        entity_id: int,
+        key_suffix: Tuple[int, ...],
+        candidates: Sequence[int],
+    ) -> List[int]:
+        version = self._entity_versions.get(entity_id, 0)
+        key = (entity_id, key_suffix)
+        cached = self._influential_cache.get(key)
+        if cached is not None and cached[0] == version:
+            return cached[1]
+        influential = top_influential_users(
+            self._ckb,
+            entity_id,
+            candidates,
+            k=self._config.influential_users,
+            method=self._config.influence_method,
+        )
+        self._influential_cache[key] = (version, influential)
+        return influential
+
+    def _recency_scores(
+        self, candidates: Sequence[int], now: float
+    ) -> Dict[int, float]:
+        if self._propagation is not None and self._config.recency_propagation:
+            return propagated_recency(
+                self._ckb,
+                self._propagation,
+                candidates,
+                now,
+                self._config.window,
+                self._config.burst_threshold,
+            )
+        return sliding_window_recency(
+            self._ckb,
+            candidates,
+            now,
+            self._config.window,
+            self._config.burst_threshold,
+        )

@@ -1,0 +1,28 @@
+"""Entity popularity :math:`S_p` (Eq. 2).
+
+Popularity is the entity's share of linked tweets *within the candidate
+set*: ``S_p(e) = count(e) / Σ_{e_i ∈ E_m} count(e_i)``.  It captures the
+"Michael Jordan (basketball) is famous enough that even ML experts talk
+about him" prior of Sec. 1.1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+from repro.kb.complemented import ComplementedKnowledgebase
+
+
+def popularity_scores(
+    ckb: ComplementedKnowledgebase, candidates: Sequence[int]
+) -> Dict[int, float]:
+    """Normalized popularity of each candidate (Eq. 2).
+
+    When no candidate has any linked tweet the feature is uninformative and
+    every candidate scores 0 — the other features decide.
+    """
+    counts = {entity_id: ckb.count(entity_id) for entity_id in candidates}
+    total = sum(counts.values())
+    if total == 0:
+        return {entity_id: 0.0 for entity_id in candidates}
+    return {entity_id: count / total for entity_id, count in counts.items()}

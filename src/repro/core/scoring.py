@@ -1,0 +1,49 @@
+"""Score combination (Eq. 1) and the ranked-candidate record."""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Sequence
+
+from repro.config import LinkerConfig
+
+
+@dataclasses.dataclass(frozen=True)
+class ScoredCandidate:
+    """One candidate entity with its combined score and feature breakdown."""
+
+    entity_id: int
+    score: float
+    interest: float
+    recency: float
+    popularity: float
+
+
+def combine_scores(
+    candidates: Sequence[int],
+    interest: Dict[int, float],
+    recency: Dict[int, float],
+    popularity: Dict[int, float],
+    config: LinkerConfig,
+) -> List[ScoredCandidate]:
+    """Eq. 1 — ``S(e) = α·S_in + β·S_r + γ·S_p`` (Table-3 weight semantics).
+
+    Returns candidates sorted by descending score; ties break by ascending
+    entity id for determinism.
+    """
+    scored = []
+    for entity_id in candidates:
+        s_in = interest.get(entity_id, 0.0)
+        s_r = recency.get(entity_id, 0.0)
+        s_p = popularity.get(entity_id, 0.0)
+        scored.append(
+            ScoredCandidate(
+                entity_id=entity_id,
+                score=config.alpha * s_in + config.beta * s_r + config.gamma * s_p,
+                interest=s_in,
+                recency=s_r,
+                popularity=s_p,
+            )
+        )
+    scored.sort(key=lambda c: (-c.score, c.entity_id))
+    return scored

@@ -1,0 +1,163 @@
+"""Experiment assembly shared by tests, examples, and benchmarks.
+
+One :class:`ExperimentContext` corresponds to one experimental setting of
+the paper: a synthetic world (KB + users + follow graph + stream), the
+activity split (Table 2), a knowledgebase complemented from one of the
+active-user datasets (Sec. 3.2.1), and factories for the three competing
+methods.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, Optional
+
+from repro.baselines.collective import CollectiveLinker
+from repro.baselines.common import IntraTweetScorer
+from repro.baselines.onthefly import OnTheFlyLinker
+from repro.config import DEFAULT_CONFIG, LinkerConfig
+from repro.core.linker import SocialTemporalLinker
+from repro.core.recency import RecencyPropagationNetwork
+from repro.eval.harness import (
+    CollectiveAdapter,
+    OnTheFlyAdapter,
+    SocialTemporalAdapter,
+)
+from repro.graph.transitive_closure import (
+    TransitiveClosure,
+    build_transitive_closure_incremental,
+)
+from repro.kb.complemented import ComplementedKnowledgebase
+from repro.stream.dataset import DatasetCatalog, TweetDataset, split_by_activity
+from repro.stream.generator import SyntheticWorld
+
+
+def complement_knowledgebase(
+    world: SyntheticWorld,
+    dataset: TweetDataset,
+    method: str = "collective",
+) -> ComplementedKnowledgebase:
+    """Offline knowledge acquisition over one active-user dataset.
+
+    ``method="collective"`` replays the paper's pipeline: the batch linker
+    of [2] labels the dataset (mistakes included) and its links populate
+    :math:`D_e`.  ``method="truth"`` uses the generator's labels directly —
+    a perfect-offline-linking upper bound, handy for fast unit tests and
+    for isolating online-inference effects from complementation noise.
+    """
+    ckb = ComplementedKnowledgebase(world.kb)
+    if method == "truth":
+        for tweet in dataset.tweets:
+            for mention in tweet.mentions:
+                if mention.true_entity is not None:
+                    ckb.link_tweet(
+                        mention.true_entity, tweet.user, tweet.timestamp, tweet.tweet_id
+                    )
+    elif method == "collective":
+        linker = CollectiveLinker(ckb)
+        linker.complement_kb(list(dataset.tweets))
+    else:
+        raise ValueError(f"unknown complementation method {method!r}")
+    return ckb
+
+
+@dataclasses.dataclass
+class ExperimentContext:
+    """A fully wired experimental setting."""
+
+    world: SyntheticWorld
+    catalog: DatasetCatalog
+    threshold: int
+    ckb: ComplementedKnowledgebase
+    config: LinkerConfig
+    _scorer: Optional[IntraTweetScorer] = None
+    _closure: Optional[TransitiveClosure] = None
+    _propagation: Optional[RecencyPropagationNetwork] = None
+
+    # ------------------------------------------------------------------ #
+    # shared heavy pieces (built once, reused across methods)
+    # ------------------------------------------------------------------ #
+    @property
+    def scorer(self) -> IntraTweetScorer:
+        if self._scorer is None:
+            self._scorer = IntraTweetScorer(self.ckb)
+        return self._scorer
+
+    @property
+    def closure(self) -> TransitiveClosure:
+        """Extended transitive closure of the follow graph (Algorithm 1)."""
+        if self._closure is None:
+            self._closure = build_transitive_closure_incremental(
+                self.world.graph, max_hops=self.config.max_hops
+            )
+        return self._closure
+
+    @property
+    def propagation_network(self) -> RecencyPropagationNetwork:
+        if self._propagation is None:
+            self._propagation = RecencyPropagationNetwork(
+                self.world.kb,
+                relatedness_threshold=self.config.relatedness_threshold,
+                propagation_lambda=self.config.propagation_lambda,
+            )
+        return self._propagation
+
+    @property
+    def test_dataset(self) -> TweetDataset:
+        return self.catalog.test
+
+    # ------------------------------------------------------------------ #
+    # method factories
+    # ------------------------------------------------------------------ #
+    def social_temporal(
+        self,
+        config: Optional[LinkerConfig] = None,
+        reachability: str = "transitive-closure",
+    ) -> SocialTemporalAdapter:
+        """Our method, backed by the chosen reachability provider."""
+        effective = config or self.config
+        if reachability == "transitive-closure":
+            provider = self.closure
+        elif reachability == "online":
+            provider = None  # linker builds cached online BFS itself
+        else:
+            raise ValueError(f"unknown reachability provider {reachability!r}")
+        propagation = (
+            self.propagation_network if effective.recency_propagation else None
+        )
+        linker = SocialTemporalLinker(
+            self.ckb,
+            self.world.graph,
+            config=effective,
+            reachability=provider,
+            propagation_network=propagation,
+        )
+        return SocialTemporalAdapter(linker)
+
+    def onthefly(self) -> OnTheFlyAdapter:
+        return OnTheFlyAdapter(OnTheFlyLinker(self.ckb, scorer=self.scorer))
+
+    def collective(self) -> CollectiveAdapter:
+        return CollectiveAdapter(CollectiveLinker(self.ckb, scorer=self.scorer))
+
+
+def build_experiment(
+    world: Optional[SyntheticWorld] = None,
+    threshold: int = 10,
+    complement_method: str = "collective",
+    config: LinkerConfig = DEFAULT_CONFIG,
+    test_user_cap: int = 200,
+) -> ExperimentContext:
+    """Assemble an :class:`ExperimentContext` (generating a world if needed)."""
+    if world is None:
+        world = SyntheticWorld.generate()
+    hub_users = {h for topic_hubs in world.hubs for h in topic_hubs}
+    catalog = split_by_activity(
+        world.tweets, test_user_cap=test_user_cap, exclude_users=hub_users
+    )
+    ckb = complement_knowledgebase(
+        world, catalog.dataset(threshold), method=complement_method
+    )
+    return ExperimentContext(
+        world=world, catalog=catalog, threshold=threshold, ckb=ckb, config=config
+    )

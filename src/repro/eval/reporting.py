@@ -1,0 +1,38 @@
+"""Fixed-width table rendering for benchmark output.
+
+The benchmark harness prints the same rows/series the paper's tables and
+figures report; this module keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+
+def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
+    """Render dict rows as an aligned text table.
+
+    Column order follows the first row's key order; values are str()-ed,
+    floats shown as given (callers round).
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    headers = list(rows[0].keys())
+    table: List[List[str]] = [[str(h) for h in headers]]
+    for row in rows:
+        table.append([_cell(row.get(h, "")) for h in headers])
+    widths = [max(len(line[col]) for line in table) for col in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(table[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for line in table[1:]:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(line, widths)))
+    return "\n".join(lines)
+
+
+def _cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4f}"
+    return str(value)

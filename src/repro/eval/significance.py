@@ -1,0 +1,152 @@
+"""Paired bootstrap significance tests for method comparisons.
+
+The paper reports point accuracies; with synthetic worlds we can afford to
+quantify whether "ours > collective" is more than seed luck.  The standard
+tool for paired per-example outcomes is the percentile bootstrap over the
+*same* mentions: resample mentions with replacement, recompute the accuracy
+difference, read confidence intervals and a sign p-value off the bootstrap
+distribution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.eval.metrics import Predictions
+from repro.stream.tweet import Tweet
+
+
+@dataclasses.dataclass(frozen=True)
+class BootstrapComparison:
+    """Outcome of a paired bootstrap between two methods."""
+
+    accuracy_a: float
+    accuracy_b: float
+    #: Observed difference (a - b) on the full dataset.
+    difference: float
+    #: Percentile confidence interval of the difference.
+    ci_low: float
+    ci_high: float
+    #: One-sided bootstrap p-value for "a is not better than b".
+    p_value: float
+    num_mentions: int
+    num_resamples: int
+
+    @property
+    def significant(self) -> bool:
+        """True when the CI excludes zero in the observed direction."""
+        if self.difference >= 0:
+            return self.ci_low > 0.0
+        return self.ci_high < 0.0
+
+
+def paired_outcomes(
+    tweets: Sequence[Tweet],
+    predictions_a: Predictions,
+    predictions_b: Predictions,
+) -> List[Tuple[bool, bool]]:
+    """Per-mention (a correct, b correct) pairs over labeled mentions."""
+    outcomes: List[Tuple[bool, bool]] = []
+    for tweet in tweets:
+        row_a = predictions_a.get(tweet.tweet_id, [])
+        row_b = predictions_b.get(tweet.tweet_id, [])
+        for index, mention in enumerate(tweet.mentions):
+            if mention.true_entity is None:
+                continue
+            guess_a = row_a[index] if index < len(row_a) else None
+            guess_b = row_b[index] if index < len(row_b) else None
+            outcomes.append(
+                (guess_a == mention.true_entity, guess_b == mention.true_entity)
+            )
+    return outcomes
+
+
+def bootstrap_compare(
+    tweets: Sequence[Tweet],
+    predictions_a: Predictions,
+    predictions_b: Predictions,
+    num_resamples: int = 2000,
+    confidence: float = 0.95,
+    rng: Optional[random.Random] = None,
+) -> BootstrapComparison:
+    """Paired percentile bootstrap of the mention-accuracy difference."""
+    outcomes = paired_outcomes(tweets, predictions_a, predictions_b)
+    return bootstrap_from_outcomes(
+        outcomes, num_resamples=num_resamples, confidence=confidence, rng=rng
+    )
+
+
+def bootstrap_from_outcomes(
+    outcomes: Sequence[Tuple[bool, bool]],
+    num_resamples: int = 2000,
+    confidence: float = 0.95,
+    rng: Optional[random.Random] = None,
+) -> BootstrapComparison:
+    """Bootstrap over pre-computed paired outcomes (e.g. pooled seeds)."""
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if num_resamples < 10:
+        raise ValueError("num_resamples must be at least 10")
+    rng = rng or random.Random(0)
+    n = len(outcomes)
+    if n == 0:
+        raise ValueError("no labeled mentions to compare")
+    correct_a = sum(1 for a, _ in outcomes if a)
+    correct_b = sum(1 for _, b in outcomes if b)
+    observed = (correct_a - correct_b) / n
+
+    differences: List[float] = []
+    for _ in range(num_resamples):
+        delta = 0
+        for _ in range(n):
+            a, b = outcomes[rng.randrange(n)]
+            delta += int(a) - int(b)
+        differences.append(delta / n)
+    differences.sort()
+    tail = (1.0 - confidence) / 2.0
+    low_index = int(tail * num_resamples)
+    high_index = min(num_resamples - 1, int((1.0 - tail) * num_resamples))
+    # one-sided p-value: share of resamples contradicting the observed sign
+    if observed >= 0:
+        contradicting = sum(1 for d in differences if d <= 0.0)
+    else:
+        contradicting = sum(1 for d in differences if d >= 0.0)
+    return BootstrapComparison(
+        accuracy_a=correct_a / n,
+        accuracy_b=correct_b / n,
+        difference=observed,
+        ci_low=differences[low_index],
+        ci_high=differences[high_index],
+        p_value=contradicting / num_resamples,
+        num_mentions=n,
+        num_resamples=num_resamples,
+    )
+
+
+def accuracy_confidence_interval(
+    tweets: Sequence[Tweet],
+    predictions: Predictions,
+    num_resamples: int = 2000,
+    confidence: float = 0.95,
+    rng: Optional[random.Random] = None,
+) -> Tuple[float, float, float]:
+    """(accuracy, ci_low, ci_high) for a single method via bootstrap."""
+    rng = rng or random.Random(0)
+    flat: List[bool] = [a for a, _ in paired_outcomes(tweets, predictions, predictions)]
+    n = len(flat)
+    if n == 0:
+        raise ValueError("no labeled mentions")
+    observed = sum(flat) / n
+    samples = []
+    for _ in range(num_resamples):
+        correct = sum(1 for _ in range(n) if flat[rng.randrange(n)])
+        samples.append(correct / n)
+    samples.sort()
+    tail = (1.0 - confidence) / 2.0
+    return (
+        observed,
+        samples[int(tail * num_resamples)],
+        samples[min(num_resamples - 1, int((1.0 - tail) * num_resamples))],
+    )

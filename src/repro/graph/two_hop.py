@@ -1,0 +1,279 @@
+"""Extended 2-hop cover for weighted reachability (Sec. 4.1.1, Algorithm 2).
+
+A pruned-landmark labeling (PLL) in the style of Akiba et al. SIGMOD'13,
+extended so that queries recover not only the shortest-path distance
+``d_st`` but also the followee set ``F_st`` needed by Eq. 4:
+
+* ``L_in(v)  = {pivot: d_pivot_v}``   — pivots that can reach ``v``;
+* ``L_out(v) = {pivot: (d_v_pivot, F_v_pivot)}`` — pivots reachable from
+  ``v`` together with the followees of ``v`` on shortest paths to the pivot.
+
+Landmarks are processed in descending degree order.  For each landmark a
+*backward* BFS updates ``L_out`` of the nodes that reach it (recording the
+followee through which each shortest path leaves, lines 5–29 of Algorithm 2)
+and a *forward* BFS updates ``L_in`` of the nodes it reaches (line 30).
+
+Queries (Eq. 5) intersect ``L_out(s) ∪ {s}`` with ``L_in(t) ∪ {t}`` and,
+per Theorem 2, union the followee sets of every pivot achieving the minimal
+distance.  Distances are exact within the ``H``-hop horizon; the recovered
+followee set is guaranteed to be a *subset* of the exact one (a pivot exists
+on at least one shortest path, not necessarily on all of them) and is
+non-empty for every reachable pair — see DESIGN.md.  The optional
+``exact_followees`` query mode recomputes ``F_st`` exactly from per-followee
+distance queries (Theorem 1) at an ``O(|F_s|)`` label-lookup cost.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+from collections import deque
+from typing import Dict, List, Set, Tuple
+
+from repro.config import DEFAULT_MAX_HOPS
+from repro.graph.digraph import DiGraph
+
+#: Sentinel distance for unreachable pairs.
+INF = float("inf")
+
+
+class TwoHopCover:
+    """Queryable extended 2-hop labeling of a followee-follower network."""
+
+    def __init__(
+        self,
+        graph: DiGraph,
+        label_in: List[Dict[int, int]],
+        label_out: List[Dict[int, Tuple[int, Set[int]]]],
+        max_hops: int,
+    ) -> None:
+        self._graph = graph
+        self._label_in = label_in
+        self._label_out = label_out
+        self._max_hops = max_hops
+
+    # ------------------------------------------------------------------ #
+    # queries
+    # ------------------------------------------------------------------ #
+    @property
+    def max_hops(self) -> int:
+        return self._max_hops
+
+    def distance(self, source: int, target: int) -> float:
+        """Shortest-path distance within ``H`` hops, or ``inf``."""
+        if source == target:
+            return 0.0
+        best = INF
+        out_labels = self._label_out[source]
+        in_labels = self._label_in[target]
+        # pivot == target
+        direct = out_labels.get(target)
+        if direct is not None:
+            best = direct[0]
+        # pivot == source
+        d_from_source = in_labels.get(source)
+        if d_from_source is not None and d_from_source < best:
+            best = d_from_source
+        # interior pivots
+        if len(out_labels) <= len(in_labels):
+            for pivot, (d_sp, _) in out_labels.items():
+                d_pt = in_labels.get(pivot)
+                if d_pt is not None and d_sp + d_pt < best:
+                    best = d_sp + d_pt
+        else:
+            for pivot, d_pt in in_labels.items():
+                entry = out_labels.get(pivot)
+                if entry is not None and entry[0] + d_pt < best:
+                    best = entry[0] + d_pt
+        # Eq. 5: d_st = inf when t is not reachable within H hops; label
+        # segments can combine to a path longer than the horizon.
+        return best if best <= self._max_hops else INF
+
+    def query(self, source: int, target: int) -> Tuple[float, Set[int]]:
+        """Eq. 5: ``(d_st, F_st)`` recovered from the labels.
+
+        ``F_st`` unions the followee sets of all minimal-distance pivots
+        (Theorem 2).  When the only minimal pivot is ``source`` itself the
+        labels carry no followee evidence; the caller falls back to exact
+        recovery (see :meth:`reachability`).
+        """
+        if source == target:
+            return 0.0, set()
+        best = self.distance(source, target)
+        if best == INF:
+            return INF, set()
+        followees: Set[int] = set()
+        out_labels = self._label_out[source]
+        direct = out_labels.get(target)
+        if direct is not None and direct[0] == best:
+            followees |= direct[1]
+        in_labels = self._label_in[target]
+        for pivot, (d_sp, f_sp) in out_labels.items():
+            d_pt = in_labels.get(pivot)
+            if d_pt is not None and d_sp + d_pt == best:
+                followees |= f_sp
+        return best, followees
+
+    def exact_followee_set(self, source: int, target: int) -> Set[int]:
+        """Exact :math:`F_{st}` via Theorem 1: followees at distance
+        ``d_st - 1`` from ``target`` — costs ``O(|F_s|)`` distance queries."""
+        d_st = self.distance(source, target)
+        if d_st == INF or d_st == 0:
+            return set()
+        if d_st == 1:
+            return {target}
+        return {
+            f
+            for f in self._graph.out_neighbors(source)
+            if self.distance(f, target) == d_st - 1
+        }
+
+    def reachability(
+        self, source: int, target: int, exact_followees: bool = False
+    ) -> float:
+        """Weighted reachability ``R(source, target)`` from the labels.
+
+        With ``exact_followees=False`` (the paper's scheme) the followee set
+        comes from the stored labels, a cheap lower bound; otherwise it is
+        recovered exactly per Theorem 1.
+        """
+        if source == target:
+            return 0.0
+        d_st, followees = self.query(source, target)
+        if d_st == INF:
+            return 0.0
+        if d_st == 1:
+            return 1.0
+        num_followees = self._graph.out_degree(source)
+        if num_followees == 0:
+            return 0.0
+        if exact_followees or not followees:
+            followees = self.exact_followee_set(source, target)
+        return (1.0 / d_st) * (len(followees) / num_followees)
+
+    # ------------------------------------------------------------------ #
+    # statistics (Table 5 columns)
+    # ------------------------------------------------------------------ #
+    def num_label_entries(self) -> int:
+        """Total entries across all in- and out-labels."""
+        entries = sum(len(lbl) for lbl in self._label_in)
+        entries += sum(len(lbl) for lbl in self._label_out)
+        return entries
+
+    def size_bytes(self) -> int:
+        """Approximate index footprint: in-labels cost one (pivot, dist)
+        pair; out-labels additionally store the followee set."""
+        size = 0
+        for lbl in self._label_in:
+            size += sys.getsizeof(lbl) + 16 * len(lbl)
+        for lbl in self._label_out:
+            size += sys.getsizeof(lbl)
+            for _, (_, followees) in lbl.items():
+                size += 24 + 8 * len(followees)
+        return size
+
+
+def build_two_hop_cover(
+    graph: DiGraph,
+    max_hops: int = DEFAULT_MAX_HOPS,
+    order: str = "degree",
+    seed: int = 0,
+) -> TwoHopCover:
+    """Algorithm 2 — pruned landmark labeling with followee bookkeeping.
+
+    ``order`` picks the landmark processing order, the main lever of PLL
+    index size (Algorithm 2 line 1 uses descending degree):
+
+    * ``"degree"`` — total degree, descending (the paper's choice);
+    * ``"coverage"`` — degree *product* ``(in+1)·(out+1)``, descending — a
+      cheap proxy for how many s→t pairs route through the node;
+    * ``"random"`` — baseline showing how much ordering matters.
+    """
+    n = graph.num_nodes
+    label_in: List[Dict[int, int]] = [dict() for _ in range(n)]
+    label_out: List[Dict[int, Tuple[int, Set[int]]]] = [dict() for _ in range(n)]
+    cover = TwoHopCover(graph, label_in, label_out, max_hops)
+    for landmark in _landmark_order(graph, order, seed):
+        _backward_bfs(graph, cover, label_out, landmark, max_hops)
+        _forward_bfs(graph, cover, label_in, landmark, max_hops)
+    return cover
+
+
+def _landmark_order(graph: DiGraph, order: str, seed: int) -> List[int]:
+    if order == "degree":
+        return sorted(graph.nodes(), key=graph.degree, reverse=True)
+    if order == "coverage":
+        return sorted(
+            graph.nodes(),
+            key=lambda v: (graph.in_degree(v) + 1) * (graph.out_degree(v) + 1),
+            reverse=True,
+        )
+    if order == "random":
+        nodes = list(graph.nodes())
+        random.Random(seed).shuffle(nodes)
+        return nodes
+    raise ValueError(f"unknown landmark order {order!r}")
+
+
+def _backward_bfs(
+    graph: DiGraph,
+    cover: TwoHopCover,
+    label_out: List[Dict[int, Tuple[int, Set[int]]]],
+    landmark: int,
+    max_hops: int,
+) -> None:
+    """Lines 5–29 of Algorithm 2: update ``L_out`` of nodes reaching the
+    landmark, recording the followee through which each path departs."""
+    queue = deque([(landmark, 0)])
+    enqueued: Set[int] = {landmark}
+    while queue:
+        node, length = queue.popleft()
+        length += 1
+        if length > max_hops:
+            continue
+        for s in graph.in_neighbors(node):
+            if s == landmark:
+                continue
+            current = cover.distance(s, landmark)
+            if length < current:
+                # Shorter path found: replace the entry, continue BFS.
+                label_out[s][landmark] = (length, {node})
+                if length < max_hops and s not in enqueued:
+                    enqueued.add(s)
+                    queue.append((s, length))
+            elif length == current:
+                # Equal-length path through a new followee: extend the set
+                # but do not propagate (ancestors' distances are unchanged).
+                entry = label_out[s].get(landmark)
+                if entry is None:
+                    _, f_known = cover.query(s, landmark)
+                    if node not in f_known:
+                        label_out[s][landmark] = (length, {node})
+                elif node not in entry[1]:
+                    entry[1].add(node)
+
+
+def _forward_bfs(
+    graph: DiGraph,
+    cover: TwoHopCover,
+    label_in: List[Dict[int, int]],
+    landmark: int,
+    max_hops: int,
+) -> None:
+    """Line 30 of Algorithm 2: update ``L_in`` of nodes the landmark
+    reaches; only strict distance improvements are recorded."""
+    queue = deque([(landmark, 0)])
+    enqueued: Set[int] = {landmark}
+    while queue:
+        node, length = queue.popleft()
+        length += 1
+        if length > max_hops:
+            continue
+        for t in graph.out_neighbors(node):
+            if t == landmark:
+                continue
+            if length < cover.distance(landmark, t):
+                label_in[t][landmark] = length
+                if length < max_hops and t not in enqueued:
+                    enqueued.add(t)
+                    queue.append((t, length))

@@ -1,0 +1,29 @@
+"""Knowledgebase substrate: entities, surface forms, links, relatedness.
+
+Stands in for the Wikipedia dump of Sec. 5.1.1: entity pages with
+descriptions, redirect/nickname surface forms, disambiguation-style
+ambiguous mentions, and the inter-page hyperlink graph that feeds the
+Wikipedia Link-based Measure (WLM).
+"""
+
+from repro.kb.builder import KBProfile, SyntheticWikipediaBuilder, SyntheticKB
+from repro.kb.complemented import ComplementedKnowledgebase, LinkedTweet
+from repro.kb.deletion_index import DeletionIndex
+from repro.kb.entity import Entity, EntityCategory
+from repro.kb.knowledgebase import Knowledgebase
+from repro.kb.surface_index import SegmentIndex
+from repro.kb.wlm import wlm_relatedness
+
+__all__ = [
+    "ComplementedKnowledgebase",
+    "DeletionIndex",
+    "Entity",
+    "EntityCategory",
+    "KBProfile",
+    "Knowledgebase",
+    "LinkedTweet",
+    "SegmentIndex",
+    "SyntheticKB",
+    "SyntheticWikipediaBuilder",
+    "wlm_relatedness",
+]

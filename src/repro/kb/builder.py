@@ -1,0 +1,241 @@
+"""Synthetic Wikipedia-like knowledgebase generator.
+
+Stands in for the July-2014 Wikipedia dump (Sec. 5.1.1).  The builder
+produces the exact statistical structure the algorithms consume:
+
+* **topic clusters** — entities grouped into topics ("NBA basketball",
+  "machine learning", ...), each with its own vocabulary; intra-topic
+  hyperlinks are dense, inter-topic ones sparse, so WLM relatedness is
+  high inside a topic and low across — the prerequisite of both recency
+  propagation and the baselines' topical-coherence voting;
+* **ambiguous mentions** — shared surface forms (the "Jordan" of Fig. 1)
+  mapping to several entities in *different* topics, so disambiguation is
+  genuinely hard and social/temporal context is what resolves it;
+* **nicknames/redirects** — extra surface forms per entity, mirroring
+  Wikipedia redirect pages and anchor texts;
+* **description pages** — bags of topic vocabulary, consumed by the
+  context-similarity features of the baselines.
+
+Everything is deterministic given the profile's seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Dict, List, Sequence
+
+from repro.kb.entity import EntityCategory
+from repro.kb.knowledgebase import Knowledgebase
+
+_CONSONANTS = "bcdfghjklmnprstvwz"
+_VOWELS = "aeiou"
+
+#: Category mix close to the annotated proportions of Appendix C.1.
+_CATEGORY_WEIGHTS = [
+    (EntityCategory.PERSON, 0.71),
+    (EntityCategory.MOVIE_MUSIC, 0.15),
+    (EntityCategory.LOCATION, 0.08),
+    (EntityCategory.COMPANY, 0.03),
+    (EntityCategory.PRODUCT, 0.03),
+]
+
+
+def _pseudo_word(rng: random.Random, syllables: int) -> str:
+    """A pronounceable pseudo-word, e.g. ``'rikano'``."""
+    return "".join(
+        rng.choice(_CONSONANTS) + rng.choice(_VOWELS) for _ in range(syllables)
+    )
+
+
+def _sample_category(rng: random.Random) -> EntityCategory:
+    threshold = rng.random()
+    cumulative = 0.0
+    for category, weight in _CATEGORY_WEIGHTS:
+        cumulative += weight
+        if threshold < cumulative:
+            return category
+    return EntityCategory.PERSON
+
+
+@dataclasses.dataclass(frozen=True)
+class KBProfile:
+    """Size and shape knobs of the synthetic knowledgebase."""
+
+    num_topics: int = 8
+    entities_per_topic: int = 10
+    #: Number of shared ambiguous surfaces ("Jordan"-style mentions).
+    ambiguous_groups: int = 24
+    #: Entities per ambiguous surface, drawn from distinct topics.
+    ambiguity: int = 4
+    #: Extra surface forms (nicknames/redirects) per entity.
+    nicknames_per_entity: int = 1
+    #: Topic vocabulary size (words available for descriptions and tweets).
+    vocab_per_topic: int = 40
+    #: Shared "common chatter" vocabulary (daily-life words used across all
+    #: topics); the bulk of tweet text, which is what makes context
+    #: similarity weak on tweets (Sec. 1.1).
+    common_vocab_size: int = 150
+    #: Description length in tokens.
+    description_words: int = 30
+    #: Fraction of description tokens drawn from the topic vocabulary (the
+    #: rest are common words) — descriptions are on-topic but not sterile.
+    description_topic_ratio: float = 0.5
+    #: Same-topic out-links per entity page (drives WLM).
+    intra_topic_links: int = 8
+    #: Cross-topic out-links per entity page (WLM noise floor).
+    inter_topic_links: int = 1
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        if self.num_topics < 1 or self.entities_per_topic < 1:
+            raise ValueError("need at least one topic and one entity per topic")
+        if self.ambiguity < 2:
+            raise ValueError("ambiguous surfaces need at least 2 candidate entities")
+        if self.ambiguity > self.num_topics:
+            raise ValueError("ambiguity cannot exceed num_topics (one per topic)")
+
+
+@dataclasses.dataclass
+class SyntheticKB:
+    """A built knowledgebase plus the generator-side metadata.
+
+    The metadata (topic membership, vocabularies, ambiguous surfaces) is
+    consumed by the tweet generator and by tests; the linking algorithms
+    only ever see the :class:`~repro.kb.knowledgebase.Knowledgebase`.
+    """
+
+    kb: Knowledgebase
+    profile: KBProfile
+    topic_entities: List[List[int]]
+    topic_vocab: List[List[str]]
+    common_vocab: List[str]
+    #: Ambiguous surface -> candidate entity ids (ground-truth ambiguity map).
+    ambiguous_surfaces: Dict[str, List[int]]
+
+    @property
+    def num_entities(self) -> int:
+        return self.kb.num_entities
+
+    def topic_of(self, entity_id: int) -> int:
+        topic = self.kb.entity(entity_id).topic
+        assert topic is not None  # synthetic entities always carry a topic
+        return topic
+
+
+class SyntheticWikipediaBuilder:
+    """Builds a :class:`SyntheticKB` from a :class:`KBProfile`."""
+
+    def __init__(self, profile: KBProfile = KBProfile()) -> None:
+        self._profile = profile
+
+    def build(self) -> SyntheticKB:
+        profile = self._profile
+        rng = random.Random(profile.seed)
+        kb = Knowledgebase()
+        used_words: set = set()
+
+        def fresh_word(syllables: int) -> str:
+            while True:
+                word = _pseudo_word(rng, syllables)
+                if word not in used_words:
+                    used_words.add(word)
+                    return word
+
+        topic_vocab = [
+            [fresh_word(rng.randint(2, 3)) for _ in range(profile.vocab_per_topic)]
+            for _ in range(profile.num_topics)
+        ]
+        common_vocab = [
+            fresh_word(rng.randint(1, 3)) for _ in range(profile.common_vocab_size)
+        ]
+
+        # Create entities in *shuffled* topic order: entity ids must not
+        # encode topic hotness, or deterministic id tie-breaks in candidate
+        # ranking would smuggle in a popularity prior (DESIGN.md §5).
+        slots = [
+            topic
+            for topic in range(profile.num_topics)
+            for _ in range(profile.entities_per_topic)
+        ]
+        rng.shuffle(slots)
+        topic_entities: List[List[int]] = [[] for _ in range(profile.num_topics)]
+        for topic in slots:
+            title = f"{fresh_word(2)} {fresh_word(3)}"
+            entity = kb.add_entity(
+                title=title,
+                category=_sample_category(rng),
+                topic=topic,
+                description=self._description(topic_vocab[topic], common_vocab, rng),
+            )
+            for _ in range(profile.nicknames_per_entity):
+                kb.add_surface_form(fresh_word(3), entity.entity_id)
+            topic_entities[topic].append(entity.entity_id)
+
+        ambiguous = self._add_ambiguous_surfaces(
+            kb, topic_entities, fresh_word, rng
+        )
+        self._add_hyperlinks(kb, topic_entities, rng)
+        return SyntheticKB(
+            kb=kb,
+            profile=profile,
+            topic_entities=topic_entities,
+            topic_vocab=topic_vocab,
+            common_vocab=common_vocab,
+            ambiguous_surfaces=ambiguous,
+        )
+
+    # ------------------------------------------------------------------ #
+    # pieces
+    # ------------------------------------------------------------------ #
+    def _description(
+        self,
+        topic_vocab: Sequence[str],
+        common_vocab: Sequence[str],
+        rng: random.Random,
+    ) -> List[str]:
+        ratio = self._profile.description_topic_ratio
+        return [
+            rng.choice(topic_vocab) if rng.random() < ratio else rng.choice(common_vocab)
+            for _ in range(self._profile.description_words)
+        ]
+
+    def _add_ambiguous_surfaces(
+        self,
+        kb: Knowledgebase,
+        topic_entities: List[List[int]],
+        fresh_word,
+        rng: random.Random,
+    ) -> Dict[str, List[int]]:
+        """Create shared surfaces spanning entities of distinct topics."""
+        profile = self._profile
+        ambiguous: Dict[str, List[int]] = {}
+        for _ in range(profile.ambiguous_groups):
+            surface = fresh_word(2)
+            topics = rng.sample(range(profile.num_topics), profile.ambiguity)
+            members = [rng.choice(topic_entities[topic]) for topic in topics]
+            for entity_id in members:
+                kb.add_surface_form(surface, entity_id)
+            ambiguous[surface] = members
+        return ambiguous
+
+    def _add_hyperlinks(
+        self,
+        kb: Knowledgebase,
+        topic_entities: List[List[int]],
+        rng: random.Random,
+    ) -> None:
+        """Dense intra-topic, sparse inter-topic hyperlinks."""
+        profile = self._profile
+        all_ids = [eid for ids in topic_entities for eid in ids]
+        for topic, ids in enumerate(topic_entities):
+            for source in ids:
+                peers = [eid for eid in ids if eid != source]
+                if peers:
+                    count = min(profile.intra_topic_links, len(peers))
+                    for target in rng.sample(peers, count):
+                        kb.add_hyperlink(source, target)
+                for _ in range(profile.inter_topic_links):
+                    target = rng.choice(all_ids)
+                    if target != source:
+                        kb.add_hyperlink(source, target)

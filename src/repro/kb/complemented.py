@@ -1,0 +1,159 @@
+"""The complemented knowledgebase (Definition 5).
+
+Offline knowledge acquisition (Sec. 3.2.1) links a historical tweet corpus
+to the KB with a batch linker and stores, per entity ``e``:
+
+* :math:`D_e` — the linked tweets with timestamp and author,
+* :math:`U_e` — the community, i.e. the authors of those tweets,
+* per-user tweet counts :math:`|D_e^u|` (consumed by influence estimation),
+* a time-ordered timestamp list (consumed by the sliding recency window).
+
+The structure is incremental: online inference appends confirmed links one
+at a time (Sec. 3.2.2 "update existing knowledge"), which only touches
+per-entity dictionaries — no global recomputation.
+"""
+
+from __future__ import annotations
+
+import bisect
+import dataclasses
+from collections import Counter
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from repro.kb.knowledgebase import Knowledgebase
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkedTweet:
+    """One tweet linked to an entity: ``(d.u, d.t)`` of the paper."""
+
+    user: int
+    timestamp: float
+    tweet_id: int = -1
+
+
+class ComplementedKnowledgebase:
+    """A :class:`Knowledgebase` plus per-entity tweet/community knowledge."""
+
+    def __init__(self, kb: Knowledgebase) -> None:
+        self._kb = kb
+        self._tweets: Dict[int, List[LinkedTweet]] = {}
+        self._timestamps: Dict[int, List[float]] = {}
+        self._user_counts: Dict[int, Counter] = {}
+        self._total_links = 0
+
+    @property
+    def kb(self) -> Knowledgebase:
+        """The underlying knowledgebase."""
+        return self._kb
+
+    @property
+    def total_links(self) -> int:
+        """Total number of (tweet, entity) links stored."""
+        return self._total_links
+
+    # ------------------------------------------------------------------ #
+    # updates
+    # ------------------------------------------------------------------ #
+    def link_tweet(
+        self, entity_id: int, user: int, timestamp: float, tweet_id: int = -1
+    ) -> None:
+        """Attach one tweet to an entity (incremental, O(log |D_e|)).
+
+        Timestamps are kept sorted so the recency window can be evaluated
+        with two bisections even when links arrive out of order (backfills
+        during offline complementation).
+        """
+        self._kb.entity(entity_id)  # raises KeyError on bad id
+        record = LinkedTweet(user=user, timestamp=timestamp, tweet_id=tweet_id)
+        self._tweets.setdefault(entity_id, []).append(record)
+        bisect.insort(self._timestamps.setdefault(entity_id, []), timestamp)
+        self._user_counts.setdefault(entity_id, Counter())[user] += 1
+        self._total_links += 1
+
+    def bulk_link(
+        self, links: Iterable[Tuple[int, int, float]]
+    ) -> None:
+        """Link many ``(entity_id, user, timestamp)`` records at once."""
+        for entity_id, user, timestamp in links:
+            self.link_tweet(entity_id, user, timestamp)
+
+    def prune_before(self, cutoff: float) -> int:
+        """Drop links older than ``cutoff``; returns how many were removed.
+
+        Streaming deployments cannot keep every historical link forever;
+        pruning bounds memory while leaving every query structure (counts,
+        communities, per-user counts, sorted timestamps) consistent.  Note
+        popularity and influence then reflect the retained horizon only —
+        a deliberate recency bias that long-running linkers usually want.
+        """
+        removed = 0
+        for entity_id in list(self._tweets.keys()):
+            kept = [r for r in self._tweets[entity_id] if r.timestamp >= cutoff]
+            dropped = len(self._tweets[entity_id]) - len(kept)
+            if dropped == 0:
+                continue
+            removed += dropped
+            if kept:
+                self._tweets[entity_id] = kept
+                self._timestamps[entity_id] = sorted(r.timestamp for r in kept)
+                counter = Counter()
+                for record in kept:
+                    counter[record.user] += 1
+                self._user_counts[entity_id] = counter
+            else:
+                del self._tweets[entity_id]
+                del self._timestamps[entity_id]
+                del self._user_counts[entity_id]
+        self._total_links -= removed
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # paper notation accessors
+    # ------------------------------------------------------------------ #
+    def tweets_of(self, entity_id: int) -> Sequence[LinkedTweet]:
+        """:math:`D_e` — tweets linked to the entity."""
+        return self._tweets.get(entity_id, [])
+
+    def count(self, entity_id: int) -> int:
+        """:math:`count(e) = |D_e|` of Eq. 2."""
+        return len(self._tweets.get(entity_id, ()))
+
+    def community(self, entity_id: int) -> Set[int]:
+        """:math:`U_e` — users tweeting about the entity (Definition 6)."""
+        return set(self._user_counts.get(entity_id, ()))
+
+    def community_size(self, entity_id: int) -> int:
+        return len(self._user_counts.get(entity_id, ()))
+
+    def user_count(self, entity_id: int, user: int) -> int:
+        """:math:`|D_e^u|` — tweets about ``entity`` authored by ``user``."""
+        counts = self._user_counts.get(entity_id)
+        return counts.get(user, 0) if counts else 0
+
+    def user_counts(self, entity_id: int) -> Counter:
+        """All :math:`|D_e^u|` for an entity as a Counter over users."""
+        return self._user_counts.get(entity_id, Counter())
+
+    def recent_count(self, entity_id: int, now: float, window: float) -> int:
+        """:math:`|D_e^\\tau|` — linked tweets with ``t >= now - window``.
+
+        Tweets timestamped *after* ``now`` are excluded: during replay of a
+        historical stream, the future must not leak into recency.
+        """
+        timestamps = self._timestamps.get(entity_id)
+        if not timestamps:
+            return 0
+        low = bisect.bisect_left(timestamps, now - window)
+        high = bisect.bisect_right(timestamps, now)
+        return high - low
+
+    def linked_entities(self) -> List[int]:
+        """Entity ids with at least one linked tweet."""
+        return list(self._tweets.keys())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ComplementedKnowledgebase(entities={self._kb.num_entities}, "
+            f"links={self._total_links})"
+        )

@@ -1,0 +1,91 @@
+"""SymSpell-style deletion-neighborhood fuzzy index.
+
+An alternative to the PassJoin-style :class:`~repro.kb.surface_index.
+SegmentIndex` with the opposite trade-off: the deletion index pre-computes,
+for every surface, all strings obtainable by deleting up to ``k``
+characters and inverts that map.  Lookup generates the query's deletion
+neighborhood and intersects — O(len^k) dictionary probes independent of
+the number of indexed surfaces, at the cost of a much larger index.
+
+Soundness rests on the classic SymSpell observation: if
+``edit_distance(q, s) <= k`` then some ``q'`` in q's ≤k-deletion
+neighborhood equals some ``s'`` in s's — deletions alone can meet in the
+middle for substitutions, insertions and deletions.  Matches are verified
+with the banded edit-distance check, so false candidates never escape.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Set
+
+from repro.text.edit_distance import within_edit_distance
+
+
+def deletion_neighborhood(text: str, max_deletions: int) -> Set[str]:
+    """All strings reachable from ``text`` by ≤ ``max_deletions`` deletions."""
+    frontier = {text}
+    seen = {text}
+    for _ in range(max_deletions):
+        fresh: Set[str] = set()
+        for item in frontier:
+            for index in range(len(item)):
+                shorter = item[:index] + item[index + 1 :]
+                if shorter not in seen:
+                    seen.add(shorter)
+                    fresh.add(shorter)
+        frontier = fresh
+        if not frontier:
+            break
+    return seen
+
+
+class DeletionIndex:
+    """Inverted deletion-neighborhood index with verification."""
+
+    def __init__(self, surfaces: Iterable[str], max_edits: int = 1) -> None:
+        if max_edits < 0:
+            raise ValueError("max_edits must be non-negative")
+        self._k = max_edits
+        self._surfaces: List[str] = []
+        self._seen: Set[str] = set()
+        self._inverted: Dict[str, List[int]] = {}
+        for surface in surfaces:
+            self.add(surface)
+
+    @property
+    def max_edits(self) -> int:
+        return self._k
+
+    def __len__(self) -> int:
+        return len(self._surfaces)
+
+    def add(self, surface: str) -> None:
+        """Index a surface (idempotent)."""
+        normalized = surface.lower().strip()
+        if not normalized or normalized in self._seen:
+            return
+        self._seen.add(normalized)
+        surface_id = len(self._surfaces)
+        self._surfaces.append(normalized)
+        for variant in deletion_neighborhood(normalized, self._k):
+            self._inverted.setdefault(variant, []).append(surface_id)
+
+    def num_index_entries(self) -> int:
+        """Total inverted-list entries (the index-size cost of SymSpell)."""
+        return sum(len(bucket) for bucket in self._inverted.values())
+
+    def lookup(self, query: str) -> List[str]:
+        """All indexed surfaces within edit distance ``k`` of ``query``."""
+        normalized = query.lower().strip()
+        if not normalized:
+            return []
+        candidate_ids: Set[int] = set()
+        for variant in deletion_neighborhood(normalized, self._k):
+            bucket = self._inverted.get(variant)
+            if bucket:
+                candidate_ids.update(bucket)
+        return [
+            self._surfaces[surface_id]
+            for surface_id in sorted(candidate_ids)
+            if within_edit_distance(normalized, self._surfaces[surface_id], self._k)
+        ]

@@ -1,0 +1,26 @@
+"""Personalized microblog search — the paper's motivating application.
+
+Sec. 3.2.2: "if the input entity mention comes from a keyword query, our
+system will collect tweets linked to the top-k entities from the
+complemented knowledgebase and regard them as answers to that query".
+
+* :mod:`repro.search.store` — tweet store with an inverted keyword index;
+* :mod:`repro.search.query` — query parsing (gazetteer mention detection +
+  residual keywords);
+* :mod:`repro.search.engine` — the engine: link the query mention with the
+  user's social-temporal context, fetch the linked entities' tweets, rank
+  by freshness and keyword relevance.
+"""
+
+from repro.search.engine import PersonalizedSearchEngine, SearchHit, SearchResponse
+from repro.search.query import ParsedQuery, QueryParser
+from repro.search.store import TweetStore
+
+__all__ = [
+    "ParsedQuery",
+    "PersonalizedSearchEngine",
+    "QueryParser",
+    "SearchHit",
+    "SearchResponse",
+    "TweetStore",
+]

@@ -1,0 +1,153 @@
+"""The personalized microblog search engine (Sec. 3.2.2).
+
+Pipeline per query:
+
+1. parse the query into entity mentions + residual keywords;
+2. link each mention with the querying user's social-temporal context
+   (:class:`~repro.core.linker.SocialTemporalLinker`), keeping the top-k
+   entities whose score clears the Appendix-D no-interest bound;
+3. collect the tweets linked to those entities in the complemented
+   knowledgebase and rank them by a freshness-decayed keyword-relevance
+   score;
+4. queries without any linkable mention fall back to plain keyword search
+   over the tweet store.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Optional
+
+from repro.config import DAY
+from repro.core.linker import SocialTemporalLinker
+from repro.core.scoring import ScoredCandidate
+from repro.search.query import ParsedQuery, QueryParser
+from repro.search.store import TweetStore
+from repro.stream.tweet import Tweet
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchHit:
+    """One ranked result tweet."""
+
+    tweet: Tweet
+    score: float
+    #: Entity that pulled this tweet in (None for keyword-fallback hits).
+    entity_id: Optional[int]
+
+
+@dataclasses.dataclass(frozen=True)
+class SearchResponse:
+    """The outcome of one personalized query."""
+
+    query: ParsedQuery
+    #: Entities each mention was linked to (empty on keyword fallback).
+    linked_entities: List[ScoredCandidate]
+    hits: List[SearchHit]
+    used_fallback: bool
+
+
+class PersonalizedSearchEngine:
+    """Entity-aware, socially-personalized tweet search."""
+
+    def __init__(
+        self,
+        linker: SocialTemporalLinker,
+        store: TweetStore,
+        parser: Optional[QueryParser] = None,
+        freshness_half_life: float = 7 * DAY,
+        keyword_weight: float = 0.5,
+    ) -> None:
+        """``freshness_half_life`` controls recency decay of result
+        ranking; ``keyword_weight`` trades keyword overlap against
+        freshness (both in [0, 1] after normalization)."""
+        if freshness_half_life <= 0:
+            raise ValueError("freshness_half_life must be positive")
+        if not 0.0 <= keyword_weight <= 1.0:
+            raise ValueError("keyword_weight must be in [0, 1]")
+        self._linker = linker
+        self._store = store
+        self._parser = parser or QueryParser(linker.ckb.kb)
+        self._half_life = freshness_half_life
+        self._keyword_weight = keyword_weight
+
+    @property
+    def parser(self) -> QueryParser:
+        return self._parser
+
+    # ------------------------------------------------------------------ #
+    # search
+    # ------------------------------------------------------------------ #
+    def search(
+        self, text: str, user: int, now: float, limit: int = 10
+    ) -> SearchResponse:
+        """Run one personalized query issued by ``user`` at time ``now``."""
+        parsed = self._parser.parse(text)
+        linked: List[ScoredCandidate] = []
+        config = self._linker.config
+        for surface in parsed.mentions:
+            result = self._linker.link(surface, user=user, now=now)
+            linked.extend(
+                result.top_k(config.top_k, threshold=config.no_interest_bound)
+            )
+        if not linked:
+            hits = self._keyword_fallback(parsed, now, limit)
+            return SearchResponse(
+                query=parsed, linked_entities=[], hits=hits, used_fallback=True
+            )
+        hits = self._entity_hits(parsed, linked, now, limit)
+        return SearchResponse(
+            query=parsed, linked_entities=linked, hits=hits, used_fallback=False
+        )
+
+    # ------------------------------------------------------------------ #
+    # ranking
+    # ------------------------------------------------------------------ #
+    def _rank_score(self, tweet_id: int, timestamp: float, now: float, parsed) -> float:
+        age = max(now - timestamp, 0.0)
+        freshness = math.exp(-math.log(2) * age / self._half_life)
+        overlap = self._store.keyword_overlap(tweet_id, parsed.keywords)
+        return (
+            self._keyword_weight * overlap + (1 - self._keyword_weight) * freshness
+        )
+
+    def _entity_hits(
+        self, parsed: ParsedQuery, linked, now: float, limit: int
+    ) -> List[SearchHit]:
+        seen = set()
+        scored: List[SearchHit] = []
+        for candidate in linked:
+            for record in self._linker.ckb.tweets_of(candidate.entity_id):
+                if record.timestamp > now or record.tweet_id in seen:
+                    continue  # never surface the future during replays
+                tweet = self._store.get(record.tweet_id)
+                if tweet is None:
+                    continue
+                seen.add(record.tweet_id)
+                scored.append(
+                    SearchHit(
+                        tweet=tweet,
+                        score=self._rank_score(
+                            record.tweet_id, record.timestamp, now, parsed
+                        ),
+                        entity_id=candidate.entity_id,
+                    )
+                )
+        scored.sort(key=lambda hit: (-hit.score, -hit.tweet.timestamp))
+        return scored[:limit]
+
+    def _keyword_fallback(
+        self, parsed: ParsedQuery, now: float, limit: int
+    ) -> List[SearchHit]:
+        hits = [
+            SearchHit(
+                tweet=tweet,
+                score=self._rank_score(tweet.tweet_id, tweet.timestamp, now, parsed),
+                entity_id=None,
+            )
+            for tweet in self._store.find_by_keywords(parsed.keywords, limit * 3)
+            if tweet.timestamp <= now
+        ]
+        hits.sort(key=lambda hit: (-hit.score, -hit.tweet.timestamp))
+        return hits[:limit]

@@ -1,0 +1,61 @@
+"""Keyword query parsing: mention detection plus residual keywords.
+
+A microblog query like ``"jordan highlight dunk"`` contains an ambiguous
+entity mention ("jordan") and plain keywords ("highlight", "dunk").  The
+parser runs the same longest-cover gazetteer as tweet NER over the query
+and returns both parts; the engine links the mentions and uses the
+residual keywords for relevance ranking.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Set
+
+from repro.kb.knowledgebase import Knowledgebase
+from repro.text.ner import GazetteerNER
+from repro.text.tokenize import tokenize_words
+
+
+@dataclasses.dataclass(frozen=True)
+class ParsedQuery:
+    """A query split into entity mentions and residual keywords."""
+
+    text: str
+    mentions: List[str]
+    keywords: Set[str]
+
+    @property
+    def has_mention(self) -> bool:
+        return bool(self.mentions)
+
+
+class QueryParser:
+    """Gazetteer-based query parser over a knowledgebase vocabulary."""
+
+    def __init__(self, kb: Knowledgebase, max_phrase_len: int = 4) -> None:
+        self._ner = GazetteerNER(kb.mentions(), max_phrase_len=max_phrase_len)
+
+    def register_surface(self, surface: str) -> None:
+        """Keep the parser in sync with KB updates (Appendix D)."""
+        self._ner.add(surface)
+
+    def parse(self, text: str) -> ParsedQuery:
+        """Split ``text`` into mentions and keywords.
+
+        Tokens covered by a recognized mention are excluded from the
+        keyword set; duplicates collapse.
+        """
+        recognized = self._ner.recognize(text)
+        words = tokenize_words(text)
+        covered: Set[int] = set()
+        for mention in recognized:
+            covered.update(range(mention.token_start, mention.token_end))
+        keywords = {
+            word for index, word in enumerate(words) if index not in covered
+        }
+        return ParsedQuery(
+            text=text,
+            mentions=[m.surface for m in recognized],
+            keywords=keywords,
+        )

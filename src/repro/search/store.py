@@ -1,0 +1,68 @@
+"""In-memory tweet store with an inverted keyword index.
+
+The complemented knowledgebase stores per-entity ``(user, timestamp,
+tweet_id)`` records; the store resolves tweet ids back to full tweets for
+snippets and supports keyword relevance scoring and a pure keyword
+fallback when a query contains no linkable mention.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.stream.tweet import Tweet
+from repro.text.tokenize import tokenize_words
+
+
+class TweetStore:
+    """Id-addressable tweet collection with a token inverted index."""
+
+    def __init__(self, tweets: Iterable[Tweet] = ()) -> None:
+        self._tweets: Dict[int, Tweet] = {}
+        self._tokens: Dict[int, Set[str]] = {}
+        self._inverted: Dict[str, List[int]] = {}
+        for tweet in tweets:
+            self.add(tweet)
+
+    def __len__(self) -> int:
+        return len(self._tweets)
+
+    def __contains__(self, tweet_id: int) -> bool:
+        return tweet_id in self._tweets
+
+    def add(self, tweet: Tweet) -> None:
+        """Index one tweet (idempotent per tweet id)."""
+        if tweet.tweet_id in self._tweets:
+            return
+        self._tweets[tweet.tweet_id] = tweet
+        tokens = set(tokenize_words(tweet.text))
+        self._tokens[tweet.tweet_id] = tokens
+        for token in tokens:
+            self._inverted.setdefault(token, []).append(tweet.tweet_id)
+
+    def get(self, tweet_id: int) -> Optional[Tweet]:
+        return self._tweets.get(tweet_id)
+
+    def keyword_overlap(self, tweet_id: int, keywords: Set[str]) -> float:
+        """Fraction of query keywords present in the tweet (0 when none)."""
+        if not keywords:
+            return 0.0
+        tokens = self._tokens.get(tweet_id)
+        if not tokens:
+            return 0.0
+        return len(keywords & tokens) / len(keywords)
+
+    def find_by_keywords(self, keywords: Set[str], limit: int = 50) -> List[Tweet]:
+        """Keyword fallback: tweets containing any query keyword, ranked by
+        overlap then freshness."""
+        candidate_ids: Set[int] = set()
+        for keyword in keywords:
+            candidate_ids.update(self._inverted.get(keyword, ()))
+        ranked = sorted(
+            candidate_ids,
+            key=lambda tid: (
+                -self.keyword_overlap(tid, keywords),
+                -self._tweets[tid].timestamp,
+            ),
+        )
+        return [self._tweets[tid] for tid in ranked[:limit]]

@@ -1,0 +1,30 @@
+"""Microblog substrate: tweets, burst events, synthetic stream, datasets."""
+
+from repro.stream.dataset import DatasetCatalog, TweetDataset, split_by_activity
+from repro.stream.events import Event, EventTimeline
+from repro.stream.generator import StreamProfile, TweetStreamGenerator, SyntheticWorld
+from repro.stream.profiles import (
+    STARVED_KB_PROFILE,
+    STARVED_PROFILE,
+    TWITTER_PROFILE,
+    WEIBO_PROFILE,
+    quick_profiles,
+)
+from repro.stream.tweet import MentionSpan, Tweet
+
+__all__ = [
+    "DatasetCatalog",
+    "Event",
+    "EventTimeline",
+    "MentionSpan",
+    "STARVED_KB_PROFILE",
+    "STARVED_PROFILE",
+    "StreamProfile",
+    "SyntheticWorld",
+    "TWITTER_PROFILE",
+    "Tweet",
+    "TweetDataset",
+    "WEIBO_PROFILE",
+    "quick_profiles",
+    "split_by_activity",
+]

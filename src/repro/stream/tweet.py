@@ -1,0 +1,41 @@
+"""Tweet records with ground-truth mention labels.
+
+The paper evaluates against human majority-vote labels; our synthetic
+stream records, for every mention it plants, the true entity — the
+:class:`MentionSpan.true_entity` field.  The linking algorithms never read
+it; only :mod:`repro.eval.metrics` does.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import List, Optional, Tuple
+
+
+@dataclasses.dataclass(frozen=True)
+class MentionSpan:
+    """One entity mention planted in (or recognized from) a tweet."""
+
+    surface: str
+    #: Ground-truth entity id; ``None`` for mentions found by NER on text
+    #: where the generator planted nothing (spurious recognitions).
+    true_entity: Optional[int] = None
+
+
+@dataclasses.dataclass(frozen=True)
+class Tweet:
+    """A microblog posting ``d`` with author ``d.u`` and timestamp ``d.t``."""
+
+    tweet_id: int
+    user: int
+    timestamp: float
+    text: str
+    mentions: Tuple[MentionSpan, ...] = ()
+
+    @property
+    def num_mentions(self) -> int:
+        return len(self.mentions)
+
+    def labeled_mentions(self) -> List[MentionSpan]:
+        """Mentions that carry a ground-truth label."""
+        return [m for m in self.mentions if m.true_entity is not None]

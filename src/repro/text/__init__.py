@@ -1,0 +1,20 @@
+"""NLP substrate: tokenization, edit distance, similarity, gazetteer NER."""
+
+from repro.text.edit_distance import edit_distance, edit_similarity, within_edit_distance
+from repro.text.ner import GazetteerNER, RecognizedMention
+from repro.text.similarity import CosineSimilarity, TfIdfVectorizer, cosine
+from repro.text.tokenize import Token, tokenize, tokenize_words
+
+__all__ = [
+    "CosineSimilarity",
+    "GazetteerNER",
+    "RecognizedMention",
+    "TfIdfVectorizer",
+    "Token",
+    "cosine",
+    "edit_distance",
+    "edit_similarity",
+    "tokenize",
+    "tokenize_words",
+    "within_edit_distance",
+]

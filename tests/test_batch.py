@@ -1,0 +1,106 @@
+"""Micro-batch linker tests: correctness vs the per-mention path."""
+
+import pytest
+
+from repro.config import DAY, LinkerConfig
+from repro.core.batch import LinkRequest, MicroBatchLinker
+from repro.core.linker import SocialTemporalLinker
+from repro.graph.digraph import DiGraph
+
+
+@pytest.fixture
+def linker(tiny_ckb):
+    graph = DiGraph(13)
+    graph.add_edge(0, 10)
+    graph.add_edge(5, 11)
+    return SocialTemporalLinker(
+        tiny_ckb, graph, config=LinkerConfig(burst_threshold=2, influential_users=2)
+    )
+
+
+class TestExactness:
+    def test_matches_single_linking(self, linker):
+        batch = MicroBatchLinker(linker, recency_bucket=0.0)
+        requests = [
+            LinkRequest("jordan", user=0, now=8 * DAY),
+            LinkRequest("jordan", user=5, now=8 * DAY),
+            LinkRequest("nba", user=0, now=8 * DAY),
+            LinkRequest("jordan", user=0, now=2 * DAY),
+        ]
+        batched = batch.link_batch(requests)
+        for request, result in zip(requests, batched):
+            single = linker.link(request.surface, request.user, request.now)
+            assert result.candidates == single.candidates
+            for a, b in zip(result.ranked, single.ranked):
+                assert a.score == pytest.approx(b.score)
+
+    def test_output_order_preserved(self, linker):
+        batch = MicroBatchLinker(linker)
+        requests = [
+            LinkRequest("nba", user=0, now=0.0),
+            LinkRequest("jordan", user=5, now=0.0),
+        ]
+        results = batch.link_batch(requests)
+        assert [r.surface for r in results] == ["nba", "jordan"]
+        assert [r.user for r in results] == [0, 5]
+
+    def test_unknown_surface_empty(self, linker):
+        batch = MicroBatchLinker(linker)
+        results = batch.link_batch([LinkRequest("qqqqqq", user=0, now=0.0)])
+        assert results[0].ranked == ()
+
+    def test_empty_batch(self, linker):
+        assert MicroBatchLinker(linker).link_batch([]) == []
+
+
+class TestBucketing:
+    def test_bucketed_recency_shared(self, linker):
+        batch = MicroBatchLinker(linker, recency_bucket=60.0)
+        near = [
+            LinkRequest("jordan", user=0, now=8 * DAY + 1.0),
+            LinkRequest("jordan", user=0, now=8 * DAY + 59.0),
+        ]
+        a, b = batch.link_batch(near)
+        assert [c.score for c in a.ranked] == [c.score for c in b.ranked]
+
+    def test_negative_bucket_rejected(self, linker):
+        with pytest.raises(ValueError):
+            MicroBatchLinker(linker, recency_bucket=-1.0)
+
+
+class TestLinkTweets:
+    def test_grouped_per_tweet(self, linker, small_world):
+        batch = MicroBatchLinker(linker)
+        # reuse structure only — build simple tweets against the tiny KB
+        from repro.stream.tweet import MentionSpan, Tweet
+
+        tweets = [
+            Tweet(
+                tweet_id=1, user=0, timestamp=8 * DAY, text="jordan nba",
+                mentions=(MentionSpan("jordan"), MentionSpan("nba")),
+            ),
+            Tweet(
+                tweet_id=2, user=5, timestamp=8 * DAY, text="jordan",
+                mentions=(MentionSpan("jordan"),),
+            ),
+        ]
+        grouped = batch.link_tweets(tweets)
+        assert len(grouped[1]) == 2
+        assert len(grouped[2]) == 1
+        assert grouped[2][0].user == 5
+
+
+class TestBatchOnWorld:
+    def test_world_scale_batch_equals_sequential(self, small_context):
+        """On a real test stream, batch and sequential agree mention-wise."""
+        adapter = small_context.social_temporal()
+        linker = adapter._linker
+        batch = MicroBatchLinker(linker, recency_bucket=0.0)
+        tweets = list(small_context.test_dataset.tweets[:60])
+        grouped = batch.link_tweets(tweets)
+        for tweet in tweets:
+            sequential = [r.result for r in linker.link_tweet(tweet)]
+            for single, batched in zip(sequential, grouped[tweet.tweet_id]):
+                assert single.candidates == batched.candidates
+                if single.best is not None:
+                    assert single.best.entity_id == batched.best.entity_id

@@ -1,0 +1,95 @@
+"""Synthetic Wikipedia builder invariants."""
+
+import pytest
+
+from repro.kb.builder import KBProfile, SyntheticWikipediaBuilder
+
+
+@pytest.fixture(scope="module")
+def synthetic():
+    return SyntheticWikipediaBuilder(
+        KBProfile(num_topics=5, entities_per_topic=8, ambiguous_groups=10, seed=3)
+    ).build()
+
+
+class TestStructure:
+    def test_entity_count(self, synthetic):
+        assert synthetic.num_entities == 5 * 8
+
+    def test_every_entity_has_topic(self, synthetic):
+        for entity in synthetic.kb.entities():
+            assert entity.topic is not None
+            assert entity.entity_id in synthetic.topic_entities[entity.topic]
+
+    def test_topic_partition(self, synthetic):
+        seen = set()
+        for ids in synthetic.topic_entities:
+            assert not (seen & set(ids))
+            seen.update(ids)
+        assert len(seen) == synthetic.num_entities
+
+    def test_descriptions_non_empty(self, synthetic):
+        for entity in synthetic.kb.entities():
+            assert synthetic.kb.description(entity.entity_id)
+
+
+class TestAmbiguity:
+    def test_ambiguous_surfaces_span_topics(self, synthetic):
+        for surface, members in synthetic.ambiguous_surfaces.items():
+            topics = {synthetic.topic_of(e) for e in members}
+            assert len(topics) == len(members), surface  # all distinct topics
+            assert set(synthetic.kb.candidates(surface)) >= set(members)
+
+    def test_requested_group_count(self, synthetic):
+        assert len(synthetic.ambiguous_surfaces) == 10
+
+    def test_ambiguity_bounds_validated(self):
+        with pytest.raises(ValueError):
+            KBProfile(num_topics=2, ambiguity=3)
+        with pytest.raises(ValueError):
+            KBProfile(ambiguity=1)
+
+
+class TestHyperlinks:
+    def test_intra_topic_relatedness_dominates(self, synthetic):
+        kb = synthetic.kb
+        intra = []
+        inter = []
+        for topic, ids in enumerate(synthetic.topic_entities):
+            intra.append(kb.relatedness(ids[0], ids[1]))
+            other = synthetic.topic_entities[(topic + 1) % len(synthetic.topic_entities)]
+            inter.append(kb.relatedness(ids[0], other[0]))
+        assert sum(intra) / len(intra) > sum(inter) / len(inter)
+
+    def test_inlinks_exist(self, synthetic):
+        linked = sum(
+            1 for e in synthetic.kb.entities() if synthetic.kb.inlinks(e.entity_id)
+        )
+        assert linked > synthetic.num_entities * 0.8
+
+
+class TestDeterminism:
+    def test_same_seed_same_kb(self):
+        profile = KBProfile(
+            num_topics=3, entities_per_topic=4, ambiguous_groups=3, ambiguity=2, seed=9
+        )
+        first = SyntheticWikipediaBuilder(profile).build()
+        second = SyntheticWikipediaBuilder(profile).build()
+        assert [e.title for e in first.kb.entities()] == [
+            e.title for e in second.kb.entities()
+        ]
+        assert first.ambiguous_surfaces == second.ambiguous_surfaces
+        assert first.common_vocab == second.common_vocab
+
+    def test_different_seed_differs(self):
+        base = KBProfile(
+            num_topics=3, entities_per_topic=4, ambiguous_groups=3, ambiguity=2, seed=1
+        )
+        other = KBProfile(
+            num_topics=3, entities_per_topic=4, ambiguous_groups=3, ambiguity=2, seed=2
+        )
+        first = SyntheticWikipediaBuilder(base).build()
+        second = SyntheticWikipediaBuilder(other).build()
+        assert [e.title for e in first.kb.entities()] != [
+            e.title for e in second.kb.entities()
+        ]

@@ -1,0 +1,50 @@
+"""Candidate generation (exact + fuzzy) tests."""
+
+from repro.core.candidates import CandidateGenerator
+
+
+class TestExactLookup:
+    def test_ambiguous_surface(self, tiny_kb):
+        generator = CandidateGenerator(tiny_kb)
+        assert set(generator.candidates("jordan")) == {0, 1, 2}
+
+    def test_title_lookup(self, tiny_kb):
+        generator = CandidateGenerator(tiny_kb)
+        assert generator.candidates("chicago bulls") == (3,)
+
+    def test_case_and_whitespace(self, tiny_kb):
+        generator = CandidateGenerator(tiny_kb)
+        assert set(generator.candidates(" Jordan ")) == {0, 1, 2}
+
+
+class TestFuzzyFallback:
+    def test_typo_recovers_candidates(self, tiny_kb):
+        generator = CandidateGenerator(tiny_kb, max_edits=1)
+        assert set(generator.candidates("jordon")) == {0, 1, 2}
+
+    def test_exact_match_not_fuzzy_expanded(self, tiny_kb):
+        # "nba" is exact; it must not pick up fuzzy neighbours
+        generator = CandidateGenerator(tiny_kb, max_edits=2)
+        assert generator.candidates("nba") == (4,)
+
+    def test_hopeless_surface_yields_nothing(self, tiny_kb):
+        generator = CandidateGenerator(tiny_kb, max_edits=1)
+        assert generator.candidates("zzzzzzzzzz") == ()
+
+    def test_zero_edits_disables_fuzzy(self, tiny_kb):
+        generator = CandidateGenerator(tiny_kb, max_edits=0)
+        assert generator.candidates("jordon") == ()
+
+    def test_deduplicated_union(self, tiny_kb):
+        # "icml" within distance 1 of... itself only; sanity on dedup path
+        generator = CandidateGenerator(tiny_kb, max_edits=1)
+        result = generator.candidates("icmls")
+        assert result == (5,)
+
+
+class TestRegistration:
+    def test_register_surface_updates_both_paths(self, tiny_kb):
+        generator = CandidateGenerator(tiny_kb, max_edits=1)
+        generator.register_surface("goat", 0)
+        assert generator.candidates("goat") == (0,)
+        assert generator.candidates("goats") == (0,)  # fuzzy too

@@ -1,0 +1,125 @@
+"""CLI tests (driving main(argv) directly)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.io import save_world
+
+from conftest import small_profiles
+
+
+@pytest.fixture(scope="module")
+def world_file(tmp_path_factory):
+    """A persisted tiny world shared by the CLI tests."""
+    from repro.stream.generator import SyntheticWorld
+
+    kb_profile, stream_profile = small_profiles(seed=31)
+    world = SyntheticWorld.generate(kb_profile, stream_profile)
+    path = tmp_path_factory.mktemp("cli") / "world.json.gz"
+    save_world(world, path)
+    return str(path)
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["teleport"])
+
+
+class TestGenerate:
+    def test_generates_and_reports(self, tmp_path, capsys):
+        out = tmp_path / "w.json.gz"
+        code = main(
+            [
+                "generate", "--out", str(out), "--seed", "3", "--users", "60",
+                "--topics", "3", "--entities-per-topic", "4",
+                "--horizon-days", "20",
+            ]
+        )
+        assert code == 0
+        assert out.exists()
+        assert "60 users" in capsys.readouterr().out
+
+
+class TestDatasets:
+    def test_table2_printed(self, world_file, capsys):
+        assert main(["datasets", "--world", world_file]) == 0
+        out = capsys.readouterr().out
+        assert "Dtest" in out
+        assert "D10" in out
+
+
+class TestEvaluate:
+    def test_single_method(self, world_file, capsys):
+        code = main(
+            [
+                "evaluate", "--world", world_file, "--method", "ours",
+                "--complement", "truth",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "ours" in out
+        assert "mention" in out
+
+    def test_all_methods(self, world_file, capsys):
+        code = main(
+            ["evaluate", "--world", world_file, "--complement", "truth"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("ours", "onthefly", "collective"):
+            assert name in out
+
+
+class TestLink:
+    def test_links_known_surface(self, world_file, capsys):
+        from repro.io import load_world
+
+        world = load_world(world_file)
+        surface = next(iter(world.synthetic_kb.ambiguous_surfaces))
+        code = main(
+            [
+                "link", "--world", world_file, "--surface", surface,
+                "--user", "20", "--day", "19",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "score" in out
+
+    def test_unknown_surface_fails(self, world_file, capsys):
+        code = main(
+            [
+                "link", "--world", world_file, "--surface", "zzzzzzzzz",
+                "--user", "20", "--day", "19",
+            ]
+        )
+        assert code == 1
+        assert "no candidates" in capsys.readouterr().out
+
+
+class TestSearch:
+    def test_search_prints_results(self, world_file, capsys):
+        from repro.io import load_world
+
+        world = load_world(world_file)
+        surface = next(iter(world.synthetic_kb.ambiguous_surfaces))
+        code = main(
+            ["search", "--world", world_file, "--query", surface, "--user", "20"]
+        )
+        assert code == 0
+        assert "results for" in capsys.readouterr().out
+
+
+class TestValidate:
+    def test_validate_prints_properties(self, world_file, capsys):
+        code = main(["validate", "--world", world_file])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "homophily_lift" in out
+        assert "activity_gini" in out

@@ -1,0 +1,90 @@
+"""SymSpell-style deletion index tests, cross-checked vs the segment index."""
+
+import string
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb.deletion_index import DeletionIndex, deletion_neighborhood
+from repro.kb.surface_index import SegmentIndex
+from repro.text.edit_distance import within_edit_distance
+
+words = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+
+class TestDeletionNeighborhood:
+    def test_zero_deletions(self):
+        assert deletion_neighborhood("abc", 0) == {"abc"}
+
+    def test_one_deletion(self):
+        assert deletion_neighborhood("abc", 1) == {"abc", "bc", "ac", "ab"}
+
+    def test_covers_empty_string(self):
+        assert "" in deletion_neighborhood("ab", 2)
+
+    def test_size_grows_with_k(self):
+        assert len(deletion_neighborhood("abcdef", 2)) > len(
+            deletion_neighborhood("abcdef", 1)
+        )
+
+
+class TestLookup:
+    def test_substitution_found(self):
+        index = DeletionIndex(["jordan"], max_edits=1)
+        assert index.lookup("jordon") == ["jordan"]
+
+    def test_insertion_and_deletion_found(self):
+        index = DeletionIndex(["jordan"], max_edits=1)
+        assert index.lookup("jordaan") == ["jordan"]
+        assert index.lookup("jordn") == ["jordan"]
+
+    def test_beyond_k_missed(self):
+        index = DeletionIndex(["jordan"], max_edits=1)
+        assert index.lookup("jrdn") == []
+
+    def test_exact_match(self):
+        index = DeletionIndex(["nba", "icml"], max_edits=1)
+        assert "nba" in index.lookup("nba")
+
+    def test_empty_query(self):
+        assert DeletionIndex(["abc"], max_edits=1).lookup("") == []
+
+    def test_idempotent_add(self):
+        index = DeletionIndex([], max_edits=1)
+        index.add("bulls")
+        index.add("bulls")
+        assert len(index) == 1
+
+    def test_negative_k_rejected(self):
+        with pytest.raises(ValueError):
+            DeletionIndex([], max_edits=-1)
+
+    @given(
+        st.lists(words, min_size=1, max_size=12, unique=True),
+        words,
+        st.integers(min_value=0, max_value=2),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, surfaces, query, k):
+        index = DeletionIndex(surfaces, max_edits=k)
+        expected = {s for s in surfaces if within_edit_distance(query, s, k)}
+        assert set(index.lookup(query)) == expected
+
+    @given(
+        st.lists(words, min_size=1, max_size=12, unique=True),
+        words,
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_agrees_with_segment_index(self, surfaces, query):
+        deletion = DeletionIndex(surfaces, max_edits=1)
+        segment = SegmentIndex(surfaces, max_edits=1)
+        assert set(deletion.lookup(query)) == set(segment.lookup(query))
+
+
+class TestTradeoff:
+    def test_deletion_index_is_larger(self):
+        surfaces = [f"entity{string.ascii_lowercase[i % 26]}{i}" for i in range(200)]
+        deletion = DeletionIndex(surfaces, max_edits=1)
+        # one deletion neighborhood per surface ~ len(surface) entries
+        assert deletion.num_index_entries() > 5 * len(surfaces)

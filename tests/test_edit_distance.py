@@ -1,0 +1,80 @@
+"""Levenshtein distance tests, including hypothesis properties."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.edit_distance import edit_distance, edit_similarity, within_edit_distance
+
+short_text = st.text(alphabet=string.ascii_lowercase + " ", max_size=12)
+
+
+class TestEditDistance:
+    def test_identical(self):
+        assert edit_distance("jordan", "jordan") == 0
+
+    def test_single_substitution(self):
+        assert edit_distance("jordan", "jordon") == 1
+
+    def test_insertion_and_deletion(self):
+        assert edit_distance("jordan", "jordans") == 1
+        assert edit_distance("jordan", "jordn") == 1
+
+    def test_empty_strings(self):
+        assert edit_distance("", "") == 0
+        assert edit_distance("", "abc") == 3
+        assert edit_distance("abc", "") == 3
+
+    def test_completely_different(self):
+        assert edit_distance("abc", "xyz") == 3
+
+    def test_classic_example(self):
+        assert edit_distance("kitten", "sitting") == 3
+
+
+class TestWithinEditDistance:
+    def test_matches_exact_distance_semantics(self):
+        assert within_edit_distance("jordan", "jordon", 1)
+        assert not within_edit_distance("jordan", "jordon", 0)
+
+    def test_length_gap_prunes(self):
+        assert not within_edit_distance("a", "abcdef", 2)
+
+    def test_negative_threshold(self):
+        assert not within_edit_distance("a", "a", -1)
+
+    def test_zero_threshold_is_equality(self):
+        assert within_edit_distance("same", "same", 0)
+        assert not within_edit_distance("same", "sane", 0)
+
+    @given(short_text, short_text, st.integers(min_value=0, max_value=4))
+    @settings(max_examples=300)
+    def test_agrees_with_full_dp(self, a, b, k):
+        assert within_edit_distance(a, b, k) == (edit_distance(a, b) <= k)
+
+    @given(short_text, short_text)
+    @settings(max_examples=200)
+    def test_symmetry(self, a, b):
+        assert edit_distance(a, b) == edit_distance(b, a)
+
+    @given(short_text, short_text, short_text)
+    @settings(max_examples=150)
+    def test_triangle_inequality(self, a, b, c):
+        assert edit_distance(a, c) <= edit_distance(a, b) + edit_distance(b, c)
+
+
+class TestEditSimilarity:
+    def test_identical_is_one(self):
+        assert edit_similarity("abc", "abc") == 1.0
+
+    def test_empty_pair_is_one(self):
+        assert edit_similarity("", "") == 1.0
+
+    def test_disjoint_is_zero(self):
+        assert edit_similarity("abc", "xyz") == 0.0
+
+    @given(short_text, short_text)
+    @settings(max_examples=150)
+    def test_bounded(self, a, b):
+        assert 0.0 <= edit_similarity(a, b) <= 1.0

@@ -1,0 +1,158 @@
+"""GRAIL-style interval index tests (SCC, condensation, pruned search)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.digraph import DiGraph
+from repro.graph.grail import (
+    GrailIndex,
+    GrailPrunedReachability,
+    condensation,
+    tarjan_scc,
+)
+from repro.graph.reachability import weighted_reachability
+from repro.graph.traversal import bfs_reachable
+
+from conftest import random_graph
+
+
+def edge_list_strategy(max_nodes=10):
+    return st.integers(min_value=2, max_value=max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(
+                    st.integers(min_value=0, max_value=n - 1),
+                    st.integers(min_value=0, max_value=n - 1),
+                ).filter(lambda e: e[0] != e[1]),
+                max_size=3 * n,
+                unique=True,
+            ),
+        )
+    )
+
+
+class TestTarjanScc:
+    def test_dag_is_all_singletons(self, chain_graph):
+        components = tarjan_scc(chain_graph)
+        assert len(set(components)) == 5
+
+    def test_cycle_collapses(self):
+        graph = DiGraph.from_edges(4, [(0, 1), (1, 2), (2, 0), (2, 3)])
+        components = tarjan_scc(graph)
+        assert components[0] == components[1] == components[2]
+        assert components[3] != components[0]
+
+    def test_two_cycles_bridge(self):
+        graph = DiGraph.from_edges(
+            6, [(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (4, 5)]
+        )
+        components = tarjan_scc(graph)
+        assert components[0] == components[1]
+        assert components[2] == components[3] == components[4]
+        assert len({components[0], components[2], components[5]}) == 3
+
+    def test_isolated_nodes(self):
+        components = tarjan_scc(DiGraph(3))
+        assert sorted(components) == [0, 1, 2]
+
+    @given(edge_list_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_property_mutual_reachability(self, spec):
+        """Same component iff mutually reachable."""
+        num_nodes, edges = spec
+        graph = DiGraph.from_edges(num_nodes, edges)
+        components = tarjan_scc(graph)
+        reach = [bfs_reachable(graph, node) for node in graph.nodes()]
+        for u in graph.nodes():
+            for v in graph.nodes():
+                if u == v:
+                    continue
+                mutual = v in reach[u] and u in reach[v]
+                assert (components[u] == components[v]) == mutual, (u, v)
+
+
+class TestCondensation:
+    def test_is_acyclic(self):
+        graph = random_graph(20, 60, seed=2)
+        components = tarjan_scc(graph)
+        dag = condensation(graph, components)
+        # Kahn's algorithm consumes every node iff acyclic
+        in_degree = [dag.in_degree(c) for c in dag.nodes()]
+        queue = [c for c in dag.nodes() if in_degree[c] == 0]
+        seen = 0
+        while queue:
+            node = queue.pop()
+            seen += 1
+            for child in dag.out_neighbors(node):
+                in_degree[child] -= 1
+                if in_degree[child] == 0:
+                    queue.append(child)
+        assert seen == dag.num_nodes
+
+    def test_no_self_edges(self):
+        graph = DiGraph.from_edges(3, [(0, 1), (1, 0), (1, 2)])
+        dag = condensation(graph, tarjan_scc(graph))
+        assert all(u != v for u, v in dag.edges())
+
+
+class TestGrailIndex:
+    def test_matches_bfs_on_random_graphs(self):
+        for seed in (1, 2, 3):
+            graph = random_graph(30, 80, seed=seed)
+            index = GrailIndex(graph, rng=random.Random(seed))
+            for u in range(0, 30, 3):
+                truth = bfs_reachable(graph, u)
+                for v in range(30):
+                    if u == v:
+                        continue
+                    assert index.reachable(u, v) == (v in truth), (u, v)
+
+    @given(edge_list_strategy())
+    @settings(max_examples=60, deadline=None)
+    def test_property_matches_bfs(self, spec):
+        num_nodes, edges = spec
+        graph = DiGraph.from_edges(num_nodes, edges)
+        index = GrailIndex(graph, num_traversals=2, rng=random.Random(7))
+        for u in graph.nodes():
+            truth = bfs_reachable(graph, u)
+            for v in graph.nodes():
+                if u != v:
+                    assert index.reachable(u, v) == (v in truth)
+
+    def test_same_component_is_reachable(self):
+        graph = DiGraph.from_edges(2, [(0, 1), (1, 0)])
+        index = GrailIndex(graph)
+        assert index.reachable(0, 1)
+        assert index.reachable(1, 0)
+
+    def test_certificate_rate_on_disconnected_graph(self):
+        # two disjoint chains: half of random cross pairs are unreachable
+        graph = DiGraph.from_edges(6, [(0, 1), (1, 2), (3, 4), (4, 5)])
+        index = GrailIndex(graph)
+        pairs = [(u, v) for u in range(6) for v in range(6) if u != v]
+        assert index.certificate_rate(pairs) > 0.5
+
+    def test_invalid_traversal_count(self):
+        with pytest.raises(ValueError):
+            GrailIndex(DiGraph(2), num_traversals=0)
+
+
+class TestGrailPrunedReachability:
+    def test_matches_exact_weighted_reachability(self):
+        graph = random_graph(25, 70, seed=5)
+        provider = GrailPrunedReachability(graph)
+        for u in range(0, 25, 2):
+            for v in range(25):
+                if u == v:
+                    continue
+                assert provider.reachability(u, v) == pytest.approx(
+                    weighted_reachability(graph, u, v)
+                )
+
+    def test_unreachable_shortcuts_to_zero(self, diamond_graph):
+        provider = GrailPrunedReachability(diamond_graph)
+        assert provider.reachability(4, 0) == 0.0

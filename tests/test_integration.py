@@ -1,0 +1,134 @@
+"""Cross-module integration tests: the full pipeline on a small world."""
+
+import pytest
+
+from repro.config import LinkerConfig
+from repro.core.batch import MicroBatchLinker
+from repro.eval.context import build_experiment, complement_knowledgebase
+from repro.eval.metrics import mention_and_tweet_accuracy
+from repro.graph.dynamic import DynamicTransitiveClosure
+from repro.search import PersonalizedSearchEngine, TweetStore
+from repro.stream.generator import SyntheticWorld
+from repro.stream.profiles import quick_profiles
+from repro.text.ner import GazetteerNER
+
+
+class TestFullPipeline:
+    def test_ours_beats_random_guessing(self, small_context):
+        run = small_context.social_temporal().run(small_context.test_dataset)
+        report = mention_and_tweet_accuracy(
+            small_context.test_dataset.tweets, run.predictions
+        )
+        # candidate sets have ~3 entities; random guessing sits near 1/3
+        assert report.mention_accuracy > 0.5
+
+    def test_all_methods_complete_end_to_end(self, small_context):
+        for adapter in (
+            small_context.onthefly(),
+            small_context.collective(),
+            small_context.social_temporal(reachability="online"),
+        ):
+            run = adapter.run(small_context.test_dataset)
+            assert run.num_tweets == small_context.test_dataset.num_tweets
+
+    def test_runs_are_deterministic(self, small_context):
+        first = small_context.social_temporal().run(small_context.test_dataset)
+        second = small_context.social_temporal().run(small_context.test_dataset)
+        assert first.predictions == second.predictions
+
+    def test_collective_complementation_hurts_vs_truth(self, small_world):
+        """Complementation noise must cost accuracy — the Fig. 4(b) driver."""
+        truth = build_experiment(world=small_world, complement_method="truth")
+        noisy = build_experiment(world=small_world, complement_method="collective")
+        run_truth = truth.social_temporal().run(truth.test_dataset)
+        run_noisy = noisy.social_temporal().run(noisy.test_dataset)
+        acc_truth = mention_and_tweet_accuracy(
+            truth.test_dataset.tweets, run_truth.predictions
+        )
+        acc_noisy = mention_and_tweet_accuracy(
+            noisy.test_dataset.tweets, run_noisy.predictions
+        )
+        assert acc_truth.mention_accuracy >= acc_noisy.mention_accuracy
+
+
+class TestNerOnGeneratedStream:
+    def test_gazetteer_recovers_planted_mentions(self, small_world):
+        """NER over the KB vocabulary finds most planted (non-typo) surfaces."""
+        ner = GazetteerNER(small_world.kb.mentions())
+        found = total = 0
+        for tweet in small_world.tweets[:300]:
+            recognized = {m.surface for m in ner.recognize(tweet.text)}
+            for mention in tweet.mentions:
+                total += 1
+                if mention.surface in recognized:
+                    found += 1
+        assert found / total > 0.85  # typos (5%) and overlaps cost a little
+
+
+class TestLiveGraphLinking:
+    def test_linker_on_dynamic_closure_follows_graph_changes(self, small_context):
+        """A linker backed by the dynamic closure reacts to follow events."""
+        from repro.core.linker import SocialTemporalLinker
+
+        from repro.graph.digraph import DiGraph
+
+        world = small_context.world
+        # work on a copy: the session-scoped world's graph must not mutate
+        graph = DiGraph.from_edges(world.graph.num_nodes, world.graph.edges())
+        dynamic = DynamicTransitiveClosure(graph, max_hops=4)
+        linker = SocialTemporalLinker(
+            small_context.ckb,
+            graph,
+            config=small_context.config,
+            reachability=dynamic,
+            propagation_network=small_context.propagation_network,
+        )
+        surface, members = next(
+            iter(world.synthetic_kb.ambiguous_surfaces.items())
+        )
+        target_topic = world.synthetic_kb.topic_of(members[0])
+        hub = world.hubs[target_topic][0]
+        # a brand-new user with no follows: no social signal at all
+        user = dynamic.add_node()
+        before = linker.link(surface, user=user, now=world.timeline.horizon)
+        assert all(c.interest == 0.0 for c in before.ranked)
+        # the user follows the topic hub -> interest appears immediately
+        dynamic.add_edge(user, hub)
+        after = linker.link(surface, user=user, now=world.timeline.horizon)
+        interesting = {c.entity_id: c.interest for c in after.ranked}
+        assert any(value > 0.0 for value in interesting.values())
+
+    def test_batch_linker_over_search_engine_tweets(self, small_context):
+        """Batch linking + search store compose on the same world."""
+        world = small_context.world
+        linker = small_context.social_temporal()._linker
+        batch = MicroBatchLinker(linker)
+        store = TweetStore(world.tweets)
+        engine = PersonalizedSearchEngine(linker, store)
+        tweets = list(small_context.test_dataset.tweets[:10])
+        grouped = batch.link_tweets(tweets)
+        assert len(grouped) == len(tweets)
+        response = engine.search(
+            tweets[0].mentions[0].surface,
+            user=tweets[0].user,
+            now=tweets[0].timestamp,
+        )
+        assert response.query.has_mention
+
+
+class TestWorldInvariantsAtScale:
+    def test_quick_profiles_build_consistent_world(self):
+        kb_profile, stream_profile = quick_profiles(seed=17)
+        world = SyntheticWorld.generate(kb_profile, stream_profile)
+        # users referenced by tweets exist in the graph
+        assert all(0 <= t.user < world.num_users for t in world.tweets)
+        # every planted entity id is a valid KB entity
+        for tweet in world.tweets:
+            for mention in tweet.mentions:
+                world.kb.entity(mention.true_entity)
+
+    def test_complementation_only_uses_dataset_tweets(self, small_world):
+        context = build_experiment(world=small_world, complement_method="truth")
+        dataset_users = context.catalog.dataset(10).users
+        for entity_id in context.ckb.linked_entities():
+            assert context.ckb.community(entity_id) <= set(dataset_users)

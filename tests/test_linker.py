@@ -1,0 +1,130 @@
+"""SocialTemporalLinker end-to-end behaviour on the Fig.-1 miniature."""
+
+import pytest
+
+from repro.config import DAY, LinkerConfig
+from repro.core.linker import SocialTemporalLinker
+from repro.graph.digraph import DiGraph
+from repro.graph.transitive_closure import build_transitive_closure_incremental
+from repro.stream.tweet import MentionSpan, Tweet
+
+
+@pytest.fixture
+def social_graph():
+    """User 0 follows @NBAOfficial (10); user 5 follows the ML expert (11);
+    user 6 follows nobody (isolated information seeker)."""
+    graph = DiGraph(13)
+    graph.add_edge(0, 10)
+    graph.add_edge(5, 11)
+    graph.add_edge(1, 10)
+    graph.add_edge(1, 12)
+    return graph
+
+
+@pytest.fixture
+def linker(tiny_ckb, social_graph):
+    config = LinkerConfig(burst_threshold=2, influential_users=2)
+    return SocialTemporalLinker(tiny_ckb, social_graph, config=config)
+
+
+class TestLinking:
+    def test_social_context_disambiguates(self, linker):
+        # user 0 follows @NBAOfficial -> basketball Jordan
+        result = linker.link("jordan", user=0, now=100 * DAY)
+        assert result.best.entity_id == 0
+
+    def test_different_user_different_entity(self, linker):
+        # user 5 follows the ML expert -> ML Jordan
+        result = linker.link("jordan", user=5, now=100 * DAY)
+        assert result.best.entity_id == 1
+
+    def test_isolated_user_falls_back_to_popularity(self, linker):
+        # user 6 has no social signal and nothing is recent at day 100:
+        # popularity picks e0 (10 of 17 tweets)
+        result = linker.link("jordan", user=6, now=100 * DAY)
+        assert result.best.entity_id == 0
+        assert result.best.interest == 0.0
+
+    def test_unknown_surface_empty_result(self, linker):
+        result = linker.link("qqqqqqq", user=0, now=0.0)
+        assert result.ranked == ()
+        assert result.best is None
+
+    def test_fuzzy_surface_still_linked(self, linker):
+        result = linker.link("jordon", user=0, now=100 * DAY)
+        assert result.best.entity_id == 0
+
+    def test_ranked_scores_descending(self, linker):
+        result = linker.link("jordan", user=0, now=100 * DAY)
+        scores = [c.score for c in result.ranked]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_recency_steers_during_burst(self, tiny_ckb, social_graph):
+        # sneaker drop: e2 bursts now; isolated user 6 should follow recency
+        config = LinkerConfig(
+            alpha=0.0, beta=1.0, gamma=0.0, burst_threshold=2,
+            recency_propagation=False,
+        )
+        linker = SocialTemporalLinker(tiny_ckb, social_graph, config=config)
+        now = 200 * DAY
+        for i in range(5):
+            linker.confirm_link(2, user=20 + i, timestamp=now - 0.1 * DAY)
+        result = linker.link("jordan", user=6, now=now)
+        assert result.best.entity_id == 2
+
+
+class TestLinkTweet:
+    def test_links_each_mention_independently(self, linker):
+        tweet = Tweet(
+            tweet_id=1,
+            user=0,
+            timestamp=100 * DAY,
+            text="jordan and the chicago bulls",
+            mentions=(MentionSpan("jordan"), MentionSpan("chicago bulls")),
+        )
+        results = linker.link_tweet(tweet)
+        assert len(results) == 2
+        assert results[0].result.best.entity_id == 0
+        assert results[1].result.best.entity_id == 3
+
+    def test_empty_mentions(self, linker):
+        tweet = Tweet(tweet_id=1, user=0, timestamp=0.0, text="hello")
+        assert linker.link_tweet(tweet) == []
+
+
+class TestTopK:
+    def test_top_k_limit(self, linker):
+        result = linker.link("jordan", user=0, now=100 * DAY)
+        assert len(result.top_k(2)) == 2
+
+    def test_threshold_filters(self, linker):
+        result = linker.link("jordan", user=6, now=100 * DAY)
+        # isolated user: every candidate scores <= beta + gamma
+        bound = linker.config.no_interest_bound
+        assert result.top_k(3, threshold=bound + 1.0) == []
+
+
+class TestFeedback:
+    def test_confirm_link_updates_counts(self, linker, tiny_ckb):
+        before = tiny_ckb.count(1)
+        linker.confirm_link(1, user=5, timestamp=50 * DAY)
+        assert tiny_ckb.count(1) == before + 1
+
+    def test_confirm_invalidates_influence_cache(self, linker, tiny_ckb):
+        linker.link("jordan", user=0, now=100 * DAY)  # warm the cache
+        # a new prolific, discriminative user floods e2's community
+        for i in range(30):
+            linker.confirm_link(2, user=40, timestamp=float(i))
+        key_suffix = (0, 1, 2)
+        fresh = linker._influential_users(2, key_suffix, key_suffix)
+        assert 40 in fresh
+
+    def test_provider_injection(self, tiny_ckb, social_graph):
+        closure = build_transitive_closure_incremental(social_graph)
+        linker = SocialTemporalLinker(
+            tiny_ckb,
+            social_graph,
+            config=LinkerConfig(burst_threshold=2),
+            reachability=closure,
+        )
+        assert linker.link("jordan", user=0, now=100 * DAY).best.entity_id == 0

@@ -1,0 +1,30 @@
+"""Entity popularity (Eq. 2) tests."""
+
+import pytest
+
+from repro.core.popularity import popularity_scores
+
+
+class TestPopularity:
+    def test_normalized_over_candidates(self, tiny_ckb):
+        # counts: e0 = 10, e1 = 4, e2 = 3
+        scores = popularity_scores(tiny_ckb, [0, 1, 2])
+        assert scores[0] == pytest.approx(10 / 17)
+        assert scores[1] == pytest.approx(4 / 17)
+        assert scores[2] == pytest.approx(3 / 17)
+        assert sum(scores.values()) == pytest.approx(1.0)
+
+    def test_candidate_set_dependence(self, tiny_ckb):
+        # dropping a candidate renormalizes the shares (Eq. 2 is per-mention)
+        scores = popularity_scores(tiny_ckb, [0, 1])
+        assert scores[0] == pytest.approx(10 / 14)
+
+    def test_all_zero_counts(self, tiny_ckb):
+        scores = popularity_scores(tiny_ckb, [3, 5])
+        assert scores == {3: 0.0, 5: 0.0}
+
+    def test_empty_candidates(self, tiny_ckb):
+        assert popularity_scores(tiny_ckb, []) == {}
+
+    def test_single_candidate(self, tiny_ckb):
+        assert popularity_scores(tiny_ckb, [0]) == {0: 1.0}

@@ -1,0 +1,44 @@
+"""World preset tests."""
+
+from repro.kb.builder import KBProfile
+from repro.stream.generator import StreamProfile
+from repro.stream.profiles import (
+    STARVED_KB_PROFILE,
+    STARVED_PROFILE,
+    TWITTER_PROFILE,
+    WEIBO_PROFILE,
+    quick_profiles,
+)
+
+
+class TestPresets:
+    def test_twitter_is_default(self):
+        assert TWITTER_PROFILE == StreamProfile()
+
+    def test_weibo_is_denser(self):
+        assert WEIBO_PROFILE.extra_mention_rate > TWITTER_PROFILE.extra_mention_rate
+        assert WEIBO_PROFILE.activity_log_mean > TWITTER_PROFILE.activity_log_mean
+        assert WEIBO_PROFILE.seed != TWITTER_PROFILE.seed
+
+    def test_starved_has_more_entities_thinner_stream(self):
+        assert (
+            STARVED_KB_PROFILE.entities_per_topic
+            > KBProfile().entities_per_topic
+        )
+        assert STARVED_PROFILE.activity_log_mean < TWITTER_PROFILE.activity_log_mean
+
+    def test_quick_profiles_are_small_and_seeded(self):
+        kb_a, stream_a = quick_profiles(seed=1)
+        kb_b, stream_b = quick_profiles(seed=1)
+        kb_c, _ = quick_profiles(seed=2)
+        assert kb_a == kb_b
+        assert stream_a == stream_b
+        assert kb_a != kb_c
+        assert stream_a.num_users < TWITTER_PROFILE.num_users
+        assert kb_a.num_topics * kb_a.entities_per_topic < 50
+
+    def test_presets_are_valid_profiles(self):
+        # dataclass validation runs in __post_init__; construction suffices
+        for profile in (TWITTER_PROFILE, WEIBO_PROFILE, STARVED_PROFILE):
+            assert profile.num_users >= 2
+        assert STARVED_KB_PROFILE.ambiguity <= STARVED_KB_PROFILE.num_topics

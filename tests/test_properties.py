@@ -1,0 +1,250 @@
+"""Property-based tests over core invariants (hypothesis).
+
+These complement the per-module unit tests with randomized structure:
+knowledgebases with arbitrary link patterns, random score inputs, random
+predictions — the invariants must hold for all of them.
+"""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import LinkerConfig
+from repro.core.influence import entropy_influence, tfidf_influence, top_influential_users
+from repro.core.popularity import popularity_scores
+from repro.core.recency import sliding_window_recency
+from repro.core.scoring import combine_scores
+from repro.eval.metrics import mention_and_tweet_accuracy
+from repro.kb.complemented import ComplementedKnowledgebase
+from repro.kb.knowledgebase import Knowledgebase
+from repro.stream.tweet import MentionSpan, Tweet
+
+# ---------------------------------------------------------------------- #
+# strategies
+# ---------------------------------------------------------------------- #
+links_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=4),   # entity
+        st.integers(min_value=0, max_value=6),   # user
+        st.floats(min_value=0.0, max_value=100.0, allow_nan=False),  # time
+    ),
+    max_size=60,
+)
+
+share_strategy = st.dictionaries(
+    st.integers(min_value=0, max_value=9),
+    st.floats(min_value=0.0, max_value=1.0, allow_nan=False),
+    max_size=8,
+)
+
+
+def build_ckb(links):
+    kb = Knowledgebase()
+    for index in range(5):
+        kb.add_entity(f"entity {index}")
+    ckb = ComplementedKnowledgebase(kb)
+    for entity, user, timestamp in links:
+        ckb.link_tweet(entity, user, timestamp)
+    return ckb
+
+
+# ---------------------------------------------------------------------- #
+# popularity (Eq. 2)
+# ---------------------------------------------------------------------- #
+class TestPopularityProperties:
+    @given(links_strategy)
+    @settings(max_examples=100)
+    def test_shares_normalized_or_zero(self, links):
+        ckb = build_ckb(links)
+        scores = popularity_scores(ckb, [0, 1, 2, 3, 4])
+        total = sum(scores.values())
+        assert total == pytest.approx(1.0) or total == 0.0
+        assert all(0.0 <= v <= 1.0 for v in scores.values())
+
+    @given(links_strategy)
+    @settings(max_examples=100)
+    def test_monotone_in_counts(self, links):
+        ckb = build_ckb(links)
+        scores = popularity_scores(ckb, [0, 1, 2, 3, 4])
+        counts = {e: ckb.count(e) for e in range(5)}
+        for a in range(5):
+            for b in range(5):
+                if counts[a] > counts[b]:
+                    assert scores[a] >= scores[b]
+
+
+# ---------------------------------------------------------------------- #
+# recency (Eq. 9)
+# ---------------------------------------------------------------------- #
+class TestRecencyProperties:
+    @given(
+        links_strategy,
+        st.floats(min_value=1.0, max_value=200.0, allow_nan=False),
+        st.floats(min_value=0.1, max_value=50.0, allow_nan=False),
+        st.integers(min_value=0, max_value=5),
+    )
+    @settings(max_examples=100)
+    def test_bounded_and_gated(self, links, now, window, threshold):
+        ckb = build_ckb(links)
+        scores = sliding_window_recency(ckb, [0, 1, 2, 3, 4], now, window, threshold)
+        assert all(0.0 <= v <= 1.0 for v in scores.values())
+        for entity, value in scores.items():
+            if ckb.recent_count(entity, now, window) < threshold:
+                assert value == 0.0
+
+    @given(links_strategy, st.floats(min_value=1.0, max_value=200.0))
+    @settings(max_examples=60)
+    def test_wider_window_never_sees_fewer_tweets(self, links, now):
+        ckb = build_ckb(links)
+        for entity in range(5):
+            narrow = ckb.recent_count(entity, now, 5.0)
+            wide = ckb.recent_count(entity, now, 50.0)
+            assert wide >= narrow
+
+
+# ---------------------------------------------------------------------- #
+# influence (Eq. 6 / 7)
+# ---------------------------------------------------------------------- #
+class TestInfluenceProperties:
+    @given(links_strategy)
+    @settings(max_examples=100)
+    def test_non_negative_and_members_only(self, links):
+        ckb = build_ckb(links)
+        candidates = (0, 1, 2)
+        for user in range(7):
+            for entity in candidates:
+                tfidf = tfidf_influence(ckb, user, entity, candidates)
+                entropy = entropy_influence(ckb, user, entity, candidates)
+                assert tfidf >= 0.0
+                assert entropy >= 0.0
+                if user not in ckb.community(entity):
+                    assert tfidf == 0.0
+                    assert entropy == 0.0
+
+    @given(links_strategy)
+    @settings(max_examples=100)
+    def test_entropy_bounded_by_pure_share(self, links):
+        # entropy influence is at most share / smoothing (entropy >= 0)
+        ckb = build_ckb(links)
+        candidates = (0, 1, 2, 3, 4)
+        for user in range(7):
+            for entity in candidates:
+                count = ckb.count(entity)
+                if count == 0:
+                    continue
+                share = ckb.user_count(entity, user) / count
+                assert entropy_influence(ckb, user, entity, candidates) <= (
+                    share / 2.0 + 1e-12
+                )
+
+    @given(links_strategy, st.integers(min_value=1, max_value=5))
+    @settings(max_examples=100)
+    def test_topk_sorted_and_within_community(self, links, k):
+        ckb = build_ckb(links)
+        candidates = (0, 1, 2)
+        top = top_influential_users(ckb, 0, candidates, k=k)
+        assert len(top) <= k
+        assert set(top) <= ckb.community(0)
+        scores = [entropy_influence(ckb, u, 0, candidates) for u in top]
+        assert scores == sorted(scores, reverse=True)
+
+
+# ---------------------------------------------------------------------- #
+# score combination (Eq. 1)
+# ---------------------------------------------------------------------- #
+class TestCombineProperties:
+    @given(share_strategy, share_strategy, share_strategy)
+    @settings(max_examples=150)
+    def test_scores_bounded_and_sorted(self, interest, recency, popularity):
+        candidates = sorted(set(interest) | set(recency) | set(popularity))
+        ranked = combine_scores(
+            candidates, interest, recency, popularity, LinkerConfig()
+        )
+        scores = [c.score for c in ranked]
+        assert scores == sorted(scores, reverse=True)
+        assert all(0.0 <= s <= 1.0 + 1e-9 for s in scores)
+
+    @given(share_strategy, share_strategy, share_strategy)
+    @settings(max_examples=100)
+    def test_candidate_order_irrelevant(self, interest, recency, popularity):
+        candidates = sorted(set(interest) | set(recency) | set(popularity))
+        forward = combine_scores(
+            candidates, interest, recency, popularity, LinkerConfig()
+        )
+        backward = combine_scores(
+            list(reversed(candidates)), interest, recency, popularity, LinkerConfig()
+        )
+        assert forward == backward
+
+    @given(share_strategy)
+    @settings(max_examples=100)
+    def test_single_feature_weights_recover_inputs(self, interest):
+        candidates = sorted(interest)
+        ranked = combine_scores(
+            candidates, interest, {}, {}, LinkerConfig(alpha=1, beta=0, gamma=0)
+        )
+        for candidate in ranked:
+            assert candidate.score == pytest.approx(interest[candidate.entity_id])
+
+
+# ---------------------------------------------------------------------- #
+# metrics
+# ---------------------------------------------------------------------- #
+predictions_strategy = st.lists(
+    st.lists(st.one_of(st.none(), st.integers(0, 4)), min_size=1, max_size=3),
+    min_size=1,
+    max_size=15,
+)
+
+
+class TestMetricsProperties:
+    @given(predictions_strategy, st.randoms(use_true_random=False))
+    @settings(max_examples=100)
+    def test_accuracies_bounded_and_consistent(self, guesses, rng):
+        """Both metrics stay in [0, 1]; on uniform single-mention tweets
+        they coincide.  (Tweet ≤ mention accuracy is *not* a theorem for
+        mixed tweet lengths — a correct 1-mention tweet plus an all-wrong
+        2-mention tweet gives 1/2 vs 1/3 — it only holds empirically.)"""
+        tweets = []
+        predictions = {}
+        for tweet_id, guess_row in enumerate(guesses):
+            truths = [rng.randrange(5) for _ in guess_row]
+            tweets.append(
+                Tweet(
+                    tweet_id=tweet_id,
+                    user=0,
+                    timestamp=float(tweet_id),
+                    text="",
+                    mentions=tuple(MentionSpan("m", true_entity=t) for t in truths),
+                )
+            )
+            predictions[tweet_id] = list(guess_row)
+        report = mention_and_tweet_accuracy(tweets, predictions)
+        assert 0.0 <= report.tweet_accuracy <= 1.0
+        assert 0.0 <= report.mention_accuracy <= 1.0
+        singles = [t for t in tweets if len(t.mentions) == 1]
+        if len(singles) == len(tweets):
+            assert report.tweet_accuracy == pytest.approx(report.mention_accuracy)
+
+    @given(predictions_strategy)
+    @settings(max_examples=50)
+    def test_perfect_predictions_score_one(self, guesses):
+        tweets = []
+        predictions = {}
+        for tweet_id, guess_row in enumerate(guesses):
+            truths = [abs(hash((tweet_id, i))) % 5 for i in range(len(guess_row))]
+            tweets.append(
+                Tweet(
+                    tweet_id=tweet_id,
+                    user=0,
+                    timestamp=0.0,
+                    text="",
+                    mentions=tuple(MentionSpan("m", true_entity=t) for t in truths),
+                )
+            )
+            predictions[tweet_id] = truths
+        report = mention_and_tweet_accuracy(tweets, predictions)
+        assert report.mention_accuracy == 1.0
+        assert report.tweet_accuracy == 1.0

@@ -1,0 +1,72 @@
+"""Score combination (Eq. 1) tests."""
+
+import pytest
+
+from repro.config import LinkerConfig
+from repro.core.scoring import combine_scores
+
+
+class TestCombineScores:
+    def test_weighted_sum(self):
+        config = LinkerConfig(alpha=0.6, beta=0.3, gamma=0.1)
+        ranked = combine_scores(
+            [7],
+            interest={7: 0.5},
+            recency={7: 0.2},
+            popularity={7: 1.0},
+            config=config,
+        )
+        assert ranked[0].score == pytest.approx(0.6 * 0.5 + 0.3 * 0.2 + 0.1 * 1.0)
+
+    def test_descending_order(self):
+        config = LinkerConfig()
+        ranked = combine_scores(
+            [1, 2, 3],
+            interest={1: 0.1, 2: 0.9, 3: 0.5},
+            recency={},
+            popularity={},
+            config=config,
+        )
+        assert [c.entity_id for c in ranked] == [2, 3, 1]
+
+    def test_tie_breaks_by_entity_id(self):
+        config = LinkerConfig()
+        ranked = combine_scores(
+            [9, 4],
+            interest={9: 0.5, 4: 0.5},
+            recency={9: 0.5, 4: 0.5},
+            popularity={9: 0.5, 4: 0.5},
+            config=config,
+        )
+        assert [c.entity_id for c in ranked] == [4, 9]
+
+    def test_missing_features_default_zero(self):
+        ranked = combine_scores([1], {}, {}, {}, LinkerConfig())
+        assert ranked[0].score == 0.0
+        assert ranked[0].interest == 0.0
+
+    def test_breakdown_preserved(self):
+        ranked = combine_scores(
+            [1],
+            interest={1: 0.4},
+            recency={1: 0.3},
+            popularity={1: 0.2},
+            config=LinkerConfig(),
+        )
+        candidate = ranked[0]
+        assert (candidate.interest, candidate.recency, candidate.popularity) == (
+            0.4,
+            0.3,
+            0.2,
+        )
+
+    def test_weight_semantics_alpha_interest_beta_recency(self):
+        """Table-3 semantics: α weighs interest, β weighs recency."""
+        interest_only = LinkerConfig(alpha=1.0, beta=0.0, gamma=0.0)
+        recency_only = LinkerConfig(alpha=0.0, beta=1.0, gamma=0.0)
+        features = dict(interest={1: 0.7}, recency={1: 0.2}, popularity={1: 0.9})
+        assert combine_scores([1], config=interest_only, **features)[0].score == 0.7
+        assert combine_scores([1], config=recency_only, **features)[0].score == 0.2
+
+    def test_empty_candidates(self):
+        assert combine_scores([], {}, {}, {}, LinkerConfig()) == []

@@ -1,0 +1,103 @@
+"""Paired bootstrap significance tests."""
+
+import random
+
+import pytest
+
+from repro.eval.significance import (
+    accuracy_confidence_interval,
+    bootstrap_compare,
+    paired_outcomes,
+)
+from repro.stream.tweet import MentionSpan, Tweet
+
+
+def make_dataset(n, correct_a_rate, correct_b_rate, rng):
+    """n single-mention tweets; methods a/b correct at given rates."""
+    tweets = []
+    predictions_a = {}
+    predictions_b = {}
+    for tweet_id in range(n):
+        truth = tweet_id % 5
+        tweets.append(
+            Tweet(
+                tweet_id=tweet_id, user=0, timestamp=float(tweet_id), text="",
+                mentions=(MentionSpan("m", true_entity=truth),),
+            )
+        )
+        predictions_a[tweet_id] = [
+            truth if rng.random() < correct_a_rate else truth + 100
+        ]
+        predictions_b[tweet_id] = [
+            truth if rng.random() < correct_b_rate else truth + 100
+        ]
+    return tweets, predictions_a, predictions_b
+
+
+class TestPairedOutcomes:
+    def test_alignment(self):
+        tweets, pa, pb = make_dataset(10, 1.0, 0.0, random.Random(0))
+        outcomes = paired_outcomes(tweets, pa, pb)
+        assert len(outcomes) == 10
+        assert all(a and not b for a, b in outcomes)
+
+    def test_missing_predictions_count_wrong(self):
+        tweets, pa, _ = make_dataset(4, 1.0, 1.0, random.Random(0))
+        outcomes = paired_outcomes(tweets, pa, {})
+        assert all(a and not b for a, b in outcomes)
+
+
+class TestBootstrapCompare:
+    def test_clear_difference_is_significant(self):
+        rng = random.Random(1)
+        tweets, pa, pb = make_dataset(400, 0.8, 0.5, rng)
+        result = bootstrap_compare(tweets, pa, pb, num_resamples=500, rng=rng)
+        assert result.difference > 0.2
+        assert result.significant
+        assert result.p_value < 0.05
+        assert result.ci_low <= result.difference <= result.ci_high
+
+    def test_identical_methods_not_significant(self):
+        rng = random.Random(2)
+        tweets, pa, _ = make_dataset(300, 0.7, 0.7, rng)
+        result = bootstrap_compare(tweets, pa, pa, num_resamples=300, rng=rng)
+        assert result.difference == 0.0
+        assert not result.significant
+
+    def test_tiny_difference_not_significant(self):
+        rng = random.Random(3)
+        tweets, pa, pb = make_dataset(80, 0.71, 0.69, rng)
+        result = bootstrap_compare(tweets, pa, pb, num_resamples=400, rng=rng)
+        assert not result.significant or abs(result.difference) > 0.05
+
+    def test_direction_reversed(self):
+        rng = random.Random(4)
+        tweets, pa, pb = make_dataset(400, 0.4, 0.8, rng)
+        result = bootstrap_compare(tweets, pa, pb, num_resamples=400, rng=rng)
+        assert result.difference < 0
+        assert result.significant
+
+    def test_validation(self):
+        tweets, pa, pb = make_dataset(5, 1.0, 1.0, random.Random(0))
+        with pytest.raises(ValueError):
+            bootstrap_compare(tweets, pa, pb, confidence=2.0)
+        with pytest.raises(ValueError):
+            bootstrap_compare(tweets, pa, pb, num_resamples=2)
+        with pytest.raises(ValueError):
+            bootstrap_compare([], {}, {})
+
+
+class TestAccuracyCI:
+    def test_interval_brackets_accuracy(self):
+        rng = random.Random(5)
+        tweets, pa, _ = make_dataset(300, 0.75, 0.0, rng)
+        accuracy, low, high = accuracy_confidence_interval(
+            tweets, pa, num_resamples=400, rng=rng
+        )
+        assert low <= accuracy <= high
+        assert 0.65 < accuracy < 0.85
+        assert high - low < 0.15
+
+    def test_empty_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy_confidence_interval([], {})

@@ -1,0 +1,64 @@
+"""World validation ("linting") tests — DESIGN.md §2's claims, measured."""
+
+import pytest
+
+from repro.stream.validation import gini, validate_world
+
+
+class TestGini:
+    def test_equal_distribution_is_zero(self):
+        assert gini([5, 5, 5, 5]) == pytest.approx(0.0, abs=1e-9)
+
+    def test_maximal_concentration(self):
+        value = gini([0, 0, 0, 100])
+        assert value == pytest.approx(0.75, abs=1e-9)  # (n-1)/n for n=4
+
+    def test_empty_and_zero(self):
+        assert gini([]) == 0.0
+        assert gini([0, 0]) == 0.0
+
+    def test_monotone_in_skew(self):
+        assert gini([1, 1, 1, 97]) > gini([20, 25, 25, 30])
+
+
+class TestValidateWorld:
+    @pytest.fixture(scope="class")
+    def report(self, small_world):
+        return validate_world(small_world)
+
+    def test_counts(self, report, small_world):
+        assert report.num_users == small_world.num_users
+        assert report.num_tweets == len(small_world.tweets)
+
+    def test_mention_density_like_paper(self, report):
+        # the paper's Dtest carries 1.36 mentions per tweet
+        assert 1.0 <= report.mentions_per_tweet <= 2.0
+
+    def test_ambiguity_pressure(self, report):
+        # most planted mentions must be genuinely ambiguous
+        assert report.ambiguous_mention_share > 0.4
+
+    def test_heavy_tailed_activity(self, report):
+        # lognormal activity concentrates tweets in few users
+        assert report.activity_gini > 0.4
+
+    def test_information_seekers_present(self, report):
+        # the isolation knob leaves a passive population
+        assert 0.1 < report.isolation_share < 0.6
+
+    def test_homophily(self, report):
+        # same-topic follows far above the random baseline
+        assert report.homophily_lift > 1.5
+
+    def test_bursts_shape_the_stream(self, report):
+        # inside an event the topic's share multiplies
+        assert report.burst_lift > 1.5
+
+    def test_mentions_resolvable_modulo_typos(self, report, small_world):
+        typo_rate = small_world.stream_profile.typo_rate
+        assert report.resolvable_share > 1.0 - 3 * typo_rate
+
+    def test_as_rows_render(self, report):
+        rows = report.as_rows()
+        assert {"property", "value"} == set(rows[0])
+        assert any(r["property"] == "homophily_lift" for r in rows)

@@ -1,0 +1,49 @@
+"""Wikipedia Link-based Measure (Eq. 10) tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.kb.wlm import wlm_relatedness
+
+link_set = st.frozensets(st.integers(min_value=0, max_value=50), max_size=20)
+
+
+class TestWlm:
+    def test_identical_inlink_sets_fully_related(self):
+        links = {1, 2, 3}
+        assert wlm_relatedness(links, links, total_pages=1000) == pytest.approx(
+            1.0
+        )
+
+    def test_disjoint_sets_unrelated(self):
+        assert wlm_relatedness({1, 2}, {3, 4}, total_pages=100) == 0.0
+
+    def test_empty_set_unrelated(self):
+        assert wlm_relatedness(set(), {1}, total_pages=100) == 0.0
+        assert wlm_relatedness({1}, set(), total_pages=100) == 0.0
+
+    def test_more_overlap_more_related(self):
+        base = {1, 2, 3, 4}
+        low = wlm_relatedness(base, {1, 9, 10, 11}, total_pages=1000)
+        high = wlm_relatedness(base, {1, 2, 3, 12}, total_pages=1000)
+        assert high > low
+
+    def test_symmetry(self):
+        a, b = {1, 2, 3}, {2, 3, 4, 5}
+        assert wlm_relatedness(a, b, 500) == wlm_relatedness(b, a, 500)
+
+    def test_tiny_corpus_degenerate(self):
+        # smaller set covers the whole corpus: log denominator vanishes
+        assert wlm_relatedness({0, 1}, {0, 1}, total_pages=2) == 1.0
+        assert wlm_relatedness({0, 1}, {0, 2}, total_pages=2) == 0.0
+
+    def test_single_page_corpus(self):
+        assert wlm_relatedness({0}, {0}, total_pages=1) == 0.0
+
+    @given(link_set, link_set, st.integers(min_value=2, max_value=10_000))
+    @settings(max_examples=200)
+    def test_bounded_and_symmetric(self, a, b, total):
+        score = wlm_relatedness(a, b, total)
+        assert 0.0 <= score <= 1.0
+        assert score == wlm_relatedness(b, a, total)
