@@ -14,6 +14,17 @@ paper-to-module map.
 """
 
 from repro.config import DAY, DEFAULT_CONFIG, DEFAULT_MAX_HOPS, LinkerConfig
+from repro.errors import (
+    CheckpointCorruptError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    DuplicateTweetError,
+    IndexUnavailableError,
+    MalformedTweetError,
+    ReproError,
+    StaleTimestampError,
+    UnknownUserError,
+)
 from repro.core import (
     CandidateGenerator,
     InteractiveLinkingSession,
@@ -46,36 +57,55 @@ from repro.kb import (
     KBProfile,
     SyntheticWikipediaBuilder,
 )
+from repro.log import configure_logging, get_logger
+from repro.resilience import BreakerState, CircuitBreaker
 from repro.search import PersonalizedSearchEngine, TweetStore
-from repro.stream import StreamProfile, SyntheticWorld, Tweet
+from repro.stream import (
+    ResilientIngestor,
+    StreamProfile,
+    SyntheticWorld,
+    Tweet,
+    TweetValidator,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AnnotatedText",
+    "BreakerState",
     "CandidateGenerator",
+    "CheckpointCorruptError",
+    "CircuitBreaker",
+    "CircuitOpenError",
     "CollectiveLinker",
     "ComplementedKnowledgebase",
     "DAY",
+    "DeadlineExceededError",
+    "DuplicateTweetError",
     "DEFAULT_CONFIG",
     "DEFAULT_MAX_HOPS",
     "DiGraph",
     "DynamicTransitiveClosure",
     "GrailIndex",
     "GrailPrunedReachability",
+    "IndexUnavailableError",
     "InteractiveLinkingSession",
     "KBProfile",
     "Knowledgebase",
     "LinkRequest",
     "LinkResult",
     "LinkerConfig",
+    "MalformedTweetError",
     "MicroBatchLinker",
     "OnTheFlyLinker",
     "OnlineReachability",
     "PersonalizedSearchEngine",
     "RecencyPropagationNetwork",
+    "ReproError",
+    "ResilientIngestor",
     "ScoredCandidate",
     "SocialTemporalLinker",
+    "StaleTimestampError",
     "StreamProfile",
     "SyntheticWikipediaBuilder",
     "SyntheticWorld",
@@ -83,8 +113,12 @@ __all__ = [
     "TransitiveClosure",
     "Tweet",
     "TweetStore",
+    "TweetValidator",
     "TwoHopCover",
+    "UnknownUserError",
     "build_experiment",
+    "configure_logging",
+    "get_logger",
     "build_transitive_closure_incremental",
     "build_transitive_closure_naive",
     "build_two_hop_cover",

@@ -7,10 +7,14 @@ Subcommands::
     repro evaluate  --world world.json.gz [--method ours ...]
     repro link      --world world.json.gz --surface jordan --user 7 --day 90
     repro search    --world world.json.gz --query "jordan dunk" --user 7
+    repro stream    --world world.json.gz [--checkpoint ckpt.json --resume]
 
 ``generate`` builds and persists a synthetic world; the other commands
-load one and run the corresponding piece of the pipeline.  Everything
-prints plain aligned tables (``repro.eval.reporting``).
+load one and run the corresponding piece of the pipeline.  ``stream``
+replays the test stream through the resilient online path (validation,
+reordering, degradation, checkpointing).  Primary output is plain
+aligned tables on stdout (``repro.eval.reporting``); diagnostics go to
+the ``repro`` logger on stderr (``--log-level``).
 """
 
 from __future__ import annotations
@@ -20,15 +24,19 @@ import sys
 from typing import List, Optional
 
 from repro.config import DAY
+from repro.errors import ReproError
 from repro.eval.context import build_experiment
 from repro.eval.metrics import mention_and_tweet_accuracy
 from repro.eval.reporting import format_table
 from repro.io import load_world, save_world
 from repro.kb.builder import KBProfile
+from repro.log import configure_logging, get_logger
 from repro.search import PersonalizedSearchEngine, TweetStore
 from repro.stream.generator import StreamProfile, SyntheticWorld
 
 METHODS = ("ours", "onthefly", "collective")
+
+_log = get_logger(__name__)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,6 +44,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Microblog entity linking with social temporal context "
         "(SIGMOD 2015 reproduction)",
+    )
+    parser.add_argument(
+        "--log-level",
+        default="WARNING",
+        choices=("DEBUG", "INFO", "WARNING", "ERROR"),
+        help="stderr diagnostics verbosity (tables stay on stdout)",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -88,6 +102,41 @@ def build_parser() -> argparse.ArgumentParser:
         "validate", help="measure a world's structural properties"
     )
     validate.add_argument("--world", required=True)
+
+    stream = commands.add_parser(
+        "stream",
+        help="replay the test stream through the resilient online path",
+    )
+    stream.add_argument("--world", required=True)
+    stream.add_argument(
+        "--limit", type=int, default=None, help="max tweets to replay"
+    )
+    stream.add_argument(
+        "--lateness", type=float, default=0.0,
+        help="allowed out-of-orderness in seconds (watermark lag)",
+    )
+    stream.add_argument(
+        "--deadline-ms", type=float, default=None,
+        help="per-mention latency budget; over-budget mentions degrade",
+    )
+    stream.add_argument(
+        "--checkpoint", default=None, help="checkpoint file path (.json[.gz])"
+    )
+    stream.add_argument(
+        "--checkpoint-every", type=int, default=500,
+        help="tweets between checkpoints",
+    )
+    stream.add_argument(
+        "--resume", action="store_true",
+        help="restore KB state and applied ids from --checkpoint first",
+    )
+    stream.add_argument(
+        "--fault-rate", type=float, default=0.0,
+        help="inject reachability faults at this probability (demo/testing)",
+    )
+    stream.add_argument(
+        "--fault-seed", type=int, default=0, help="seed of the fault schedule"
+    )
     return parser
 
 
@@ -163,7 +212,7 @@ def _cmd_link(args: argparse.Namespace) -> int:
     linker = context.social_temporal()._linker
     result = linker.link(args.surface, user=args.user, now=args.day * DAY)
     if not result.ranked:
-        print(f"no candidates for surface {args.surface!r}")
+        _log.error("no candidates for surface %r", args.surface)
         return 1
     rows = [
         {
@@ -210,9 +259,10 @@ def _cmd_report(args: argparse.Namespace) -> int:
     from repro.eval.report_builder import collect_results, write_report
 
     if not collect_results(args.results):
-        print(
-            f"no result tables under {args.results!r}; "
-            "run `pytest benchmarks/ --benchmark-only` first"
+        _log.error(
+            "no result tables under %r; "
+            "run `pytest benchmarks/ --benchmark-only` first",
+            args.results,
         )
         return 1
     path = write_report(args.results, args.out)
@@ -228,6 +278,112 @@ def _cmd_validate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    """Replay the test stream through the resilient online path.
+
+    Exercises the full degradation ladder: validation + reordering in
+    :class:`~repro.stream.ingest.ResilientIngestor`, per-mention deadline
+    budgets and circuit-broken reachability in the linker, and periodic
+    complemented-KB checkpoints for crash recovery.
+    """
+    import dataclasses as _dc
+
+    from repro.core.linker import SocialTemporalLinker
+    from repro.kb.checkpoint import load_checkpoint, restore, save_checkpoint, snapshot
+    from repro.resilience.breaker import CircuitBreaker
+    from repro.stream.ingest import ResilientIngestor, TweetValidator
+
+    world = load_world(args.world)
+    context = build_experiment(world=world, complement_method="truth")
+    ckb = context.ckb
+    seen_ids = []
+    if args.resume and args.checkpoint:
+        checkpoint = load_checkpoint(args.checkpoint)
+        ckb = restore(world.kb, checkpoint)
+        seen_ids = sorted(checkpoint.applied_ids)
+        _log.info(
+            "resumed from %s: %d links, %d applied tweets",
+            args.checkpoint, checkpoint.total_links, len(seen_ids),
+        )
+
+    config = context.config
+    if args.deadline_ms is not None:
+        config = _dc.replace(config, deadline_ms=args.deadline_ms)
+    provider = context.closure
+    if args.fault_rate > 0.0:
+        from repro.testing.faults import FaultSchedule, FlakyReachabilityProvider
+
+        provider = FlakyReachabilityProvider(
+            provider,
+            FaultSchedule(seed=args.fault_seed, error_rate=args.fault_rate),
+        )
+    linker = SocialTemporalLinker(
+        ckb,
+        world.graph,
+        config=config,
+        reachability=provider,
+        propagation_network=context.propagation_network,
+        breaker=CircuitBreaker(),
+    )
+    ingestor = ResilientIngestor(
+        validator=TweetValidator(known_users=range(world.num_users)),
+        lateness=args.lateness,
+        seen_ids=seen_ids,
+    )
+
+    tweets = context.test_dataset.tweets
+    if args.limit is not None:
+        tweets = tweets[: args.limit]
+    degraded = confirmed = checkpoints = 0
+    # Checkpoints record *applied* tweet ids (not merely admitted ones):
+    # tweets still sitting in the reordering buffer at checkpoint time must
+    # be re-admitted on recovery, or their links would be lost.
+    applied = set(seen_ids)
+
+    def _consume(released) -> None:
+        nonlocal degraded, confirmed
+        for tweet in released:
+            for outcome in linker.link_tweet(tweet):
+                result = outcome.result
+                degraded += int(result.degraded)
+                if result.best is not None:
+                    linker.confirm_link(
+                        result.best.entity_id, tweet.user, tweet.timestamp,
+                        tweet.tweet_id,
+                    )
+                    confirmed += 1
+            applied.add(tweet.tweet_id)
+
+    for index, tweet in enumerate(tweets, start=1):
+        _consume(ingestor.push(tweet))
+        if args.checkpoint and index % args.checkpoint_every == 0:
+            save_checkpoint(
+                snapshot(ckb, ingestor.watermark, applied), args.checkpoint
+            )
+            checkpoints += 1
+    _consume(ingestor.flush())
+    if args.checkpoint:
+        save_checkpoint(
+            snapshot(ckb, ingestor.watermark, applied), args.checkpoint
+        )
+        checkpoints += 1
+
+    stats = ingestor.stats
+    rows = [
+        {
+            "received": stats.received,
+            "emitted": stats.emitted,
+            "dead_lettered": stats.dead_lettered,
+            "degraded_mentions": degraded,
+            "confirmed_links": confirmed,
+            "kb_links": ckb.total_links,
+            "checkpoints": checkpoints,
+        }
+    ]
+    print(format_table(rows, title="resilient stream replay"))
+    return 0
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "datasets": _cmd_datasets,
@@ -236,12 +392,20 @@ _HANDLERS = {
     "search": _cmd_search,
     "report": _cmd_report,
     "validate": _cmd_validate,
+    "stream": _cmd_stream,
 }
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return _HANDLERS[args.command](args)
+    configure_logging(args.log_level)
+    try:
+        return _HANDLERS[args.command](args)
+    except (ReproError, ValueError) as exc:
+        # domain failures (corrupt checkpoint, bad config, ...) get one
+        # clean diagnostic line, not a traceback
+        _log.error("%s: %s", type(exc).__name__, exc)
+        return 1
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -23,6 +23,7 @@ gamma = popularity**.  See DESIGN.md.
 from __future__ import annotations
 
 import dataclasses
+from typing import Optional
 
 #: Seconds in one day; timestamps throughout the library are POSIX seconds.
 DAY = 86_400.0
@@ -73,6 +74,12 @@ class LinkerConfig:
     fuzzy_edit_distance: int = 1
     #: Number of candidates returned by online inference.
     top_k: int = 1
+    #: Per-mention latency budget (milliseconds) for online inference.
+    #: ``None`` disables the budget entirely — the default, so batch/eval
+    #: runs are untouched.  When set, a mention whose interest computation
+    #: exceeds the budget degrades to ``β·S_r + γ·S_p`` scoring (the
+    #: Appendix-D no-interest bound) instead of blocking the stream.
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self) -> None:
         weights = (self.alpha, self.beta, self.gamma)
@@ -98,6 +105,8 @@ class LinkerConfig:
             raise ValueError("fuzzy_edit_distance must be non-negative")
         if self.top_k < 1:
             raise ValueError("top_k must be at least 1")
+        if self.deadline_ms is not None and self.deadline_ms <= 0:
+            raise ValueError("deadline_ms must be positive when set")
 
     def with_weights(self, alpha: float, beta: float, gamma: float) -> "LinkerConfig":
         """Return a copy with the three feature weights replaced."""

@@ -99,7 +99,9 @@ class MicroBatchLinker:
             interest_key = (request.user, candidates)
             interest = interest_cache.get(interest_key)
             if interest is None:
-                interest = linker._interest_scores(request.user, candidates)
+                interest = linker._interest_scores(
+                    request.user, candidates, linker._guarded_provider()
+                )
                 interest_cache[interest_key] = interest
 
             ranked = combine_scores(candidates, interest, recency, popularity, config)

@@ -17,7 +17,8 @@ fast enough for streaming use.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Optional, Sequence, Tuple
+import time
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import DEFAULT_CONFIG, LinkerConfig
 from repro.core.candidates import CandidateGenerator
@@ -27,6 +28,13 @@ from repro.core.interest import (
     ReachabilityProvider,
     normalized_interest,
 )
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    IndexUnavailableError,
+)
+from repro.log import get_logger
+from repro.resilience.breaker import CircuitBreaker
 from repro.core.popularity import popularity_scores
 from repro.core.recency import (
     RecencyPropagationNetwork,
@@ -38,6 +46,48 @@ from repro.graph.digraph import DiGraph
 from repro.kb.complemented import ComplementedKnowledgebase
 from repro.stream.tweet import Tweet
 
+_log = get_logger(__name__)
+
+
+class _DeadlineGuard:
+    """Reachability proxy that enforces a per-mention latency budget.
+
+    The check runs *before* each provider call: once the budget is spent,
+    the next query raises instead of queueing more slow work.  Partial
+    interest results are discarded by the caller — a half-scored candidate
+    set would not be comparable across candidates.
+    """
+
+    __slots__ = ("_inner", "_deadline", "_clock")
+
+    def __init__(
+        self,
+        inner: ReachabilityProvider,
+        deadline: float,
+        clock: Callable[[], float],
+    ) -> None:
+        self._inner = inner
+        self._deadline = deadline
+        self._clock = clock
+
+    def reachability(self, source: int, target: int) -> float:
+        if self._clock() >= self._deadline:
+            raise DeadlineExceededError("per-mention deadline budget exhausted")
+        return self._inner.reachability(source, target)
+
+
+class _BreakerGuard:
+    """Reachability proxy routing every query through a circuit breaker."""
+
+    __slots__ = ("_inner", "_breaker")
+
+    def __init__(self, inner: ReachabilityProvider, breaker: CircuitBreaker) -> None:
+        self._inner = inner
+        self._breaker = breaker
+
+    def reachability(self, source: int, target: int) -> float:
+        return self._breaker.call(self._inner.reachability, source, target)
+
 
 @dataclasses.dataclass(frozen=True)
 class LinkResult:
@@ -47,6 +97,15 @@ class LinkResult:
     user: int
     timestamp: float
     ranked: Tuple[ScoredCandidate, ...]
+    #: ``None`` for a full-fidelity result; otherwise the reason scoring
+    #: fell back to the no-interest bound ``β·S_r + γ·S_p`` (Appendix D):
+    #: ``"index_unavailable"``, ``"deadline_exceeded"`` or ``"circuit_open"``.
+    degradation: Optional[str] = None
+
+    @property
+    def degraded(self) -> bool:
+        """Whether interest scoring was skipped due to a dependency fault."""
+        return self.degradation is not None
 
     @property
     def candidates(self) -> Tuple[int, ...]:
@@ -88,6 +147,8 @@ class SocialTemporalLinker:
         reachability: Optional[ReachabilityProvider] = None,
         propagation_network: Optional[RecencyPropagationNetwork] = None,
         candidate_generator: Optional[CandidateGenerator] = None,
+        breaker: Optional[CircuitBreaker] = None,
+        clock: Callable[[], float] = time.monotonic,
     ) -> None:
         """Wire the linker.
 
@@ -100,6 +161,13 @@ class SocialTemporalLinker:
         propagation_network:
             Pre-built recency clusters; built from the KB on demand when
             ``config.recency_propagation`` is on.
+        breaker:
+            Optional circuit breaker guarding the reachability provider;
+            when it is open, interest scoring is skipped immediately and
+            results degrade to the no-interest bound.
+        clock:
+            Monotonic time source for ``config.deadline_ms`` enforcement;
+            injectable for deterministic latency tests.
         """
         self._ckb = ckb
         self._graph = graph
@@ -107,6 +175,8 @@ class SocialTemporalLinker:
         self._reachability = reachability or OnlineReachability(
             graph, max_hops=config.max_hops
         )
+        self._breaker = breaker
+        self._clock = clock
         self._candidates = candidate_generator or CandidateGenerator(
             ckb.kb, max_edits=config.fuzzy_edit_distance
         )
@@ -140,16 +210,43 @@ class SocialTemporalLinker:
     # online inference
     # ------------------------------------------------------------------ #
     def link(self, surface: str, user: int, now: float) -> LinkResult:
-        """Link one mention issued by ``user`` at time ``now``."""
+        """Link one mention issued by ``user`` at time ``now``.
+
+        Interest scoring (the only feature touching the reachability
+        index) runs under the configured deadline budget and circuit
+        breaker.  If the index fails, times out, or the breaker is open,
+        the mention is still ranked — by ``β·S_r + γ·S_p`` alone, the
+        paper's own Appendix-D no-interest bound — and the result carries
+        the degradation reason instead of an exception.
+        """
         candidates = self._candidates.candidates(surface)
         if not candidates:
             return LinkResult(surface=surface, user=user, timestamp=now, ranked=())
-        interest = self._interest_scores(user, candidates)
+        degradation: Optional[str] = None
+        try:
+            interest = self._interest_scores(user, candidates, self._guarded_provider())
+        except DeadlineExceededError:
+            interest = {}
+            degradation = "deadline_exceeded"
+        except CircuitOpenError:
+            interest = {}
+            degradation = "circuit_open"
+        except IndexUnavailableError:
+            interest = {}
+            degradation = "index_unavailable"
+        if degradation is not None:
+            _log.warning(
+                "degraded link for %r (user %d): %s", surface, user, degradation
+            )
         recency = self._recency_scores(candidates, now)
         popularity = popularity_scores(self._ckb, candidates)
         ranked = combine_scores(candidates, interest, recency, popularity, self._config)
         return LinkResult(
-            surface=surface, user=user, timestamp=now, ranked=tuple(ranked)
+            surface=surface,
+            user=user,
+            timestamp=now,
+            ranked=tuple(ranked),
+            degradation=degradation,
         )
 
     def link_tweet(self, tweet: Tweet) -> List[MentionResult]:
@@ -190,15 +287,29 @@ class SocialTemporalLinker:
     # ------------------------------------------------------------------ #
     # feature computation
     # ------------------------------------------------------------------ #
+    def _guarded_provider(self) -> ReachabilityProvider:
+        """The reachability provider wrapped in the configured guards.
+
+        With no breaker and no deadline (the defaults) this returns the
+        raw provider — the batch/eval path pays nothing for resilience.
+        """
+        provider: ReachabilityProvider = self._reachability
+        if self._breaker is not None:
+            provider = _BreakerGuard(provider, self._breaker)
+        if self._config.deadline_ms is not None:
+            deadline = self._clock() + self._config.deadline_ms / 1000.0
+            provider = _DeadlineGuard(provider, deadline, self._clock)
+        return provider
+
     def _interest_scores(
-        self, user: int, candidates: Sequence[int]
+        self, user: int, candidates: Sequence[int], provider: ReachabilityProvider
     ) -> Dict[int, float]:
         key_suffix = tuple(sorted(candidates))
         influential_by_entity = {
             entity_id: self._influential_users(entity_id, key_suffix, candidates)
             for entity_id in candidates
         }
-        return normalized_interest(self._reachability, user, influential_by_entity)
+        return normalized_interest(provider, user, influential_by_entity)
 
     def _influential_users(
         self,

@@ -34,6 +34,10 @@ class LinkedSpan:
         best = self.result.best
         return best.entity_id if best else None
 
+    @property
+    def degraded(self) -> bool:
+        return self.result.degraded
+
 
 @dataclasses.dataclass(frozen=True)
 class AnnotatedText:
@@ -47,6 +51,11 @@ class AnnotatedText:
     def entities(self) -> List[int]:
         """Linked entity ids in reading order (skipping abstentions)."""
         return [span.entity_id for span in self.spans if span.entity_id is not None]
+
+    @property
+    def degraded(self) -> bool:
+        """Whether any span was linked under degraded (no-interest) scoring."""
+        return any(span.degraded for span in self.spans)
 
     def render(self, kb) -> str:
         """Human-readable annotation, e.g. for demos and logs."""
@@ -90,7 +99,10 @@ class TextLinkingPipeline:
         config = self._linker.config
         for mention in self._ner.recognize(text):
             result = self._linker.link(mention.surface, user=user, now=now)
-            if self._abstain and result.ranked:
+            if self._abstain and result.ranked and not result.degraded:
+                # A degraded result never measured interest, so the
+                # Appendix-D bound (which presumes it was measured as
+                # absent) does not apply — see the same rule in search.
                 kept = result.top_k(config.top_k, threshold=config.no_interest_bound)
                 if not kept:
                     result = dataclasses.replace(result, ranked=())

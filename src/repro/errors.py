@@ -1,0 +1,93 @@
+"""Typed error taxonomy for the online serving path.
+
+The batch/eval harness works on clean synthetic worlds and never raises;
+the *online* path (Sec. 3.2.2) faces dirty streams, slow reachability
+indexes, and process restarts.  Every failure the resilience layer knows
+how to handle is a subclass of :class:`ReproError`, so callers can write
+one ``except ReproError`` at the service boundary and still dispatch on
+the precise kind when a handler cares.
+
+The taxonomy distinguishes three axes:
+
+* **input errors** (:class:`MalformedTweetError`, :class:`UnknownUserError`,
+  :class:`StaleTimestampError`, :class:`DuplicateTweetError`) — the record
+  is at fault; it goes to the dead-letter queue and the stream continues;
+* **dependency errors** (:class:`IndexUnavailableError`,
+  :class:`DeadlineExceededError`, :class:`CircuitOpenError`) — a provider
+  is at fault; the linker degrades to the no-interest bound (Appendix D)
+  and the circuit breaker decides when to probe again;
+* **state errors** (:class:`CheckpointCorruptError`) — persisted state is
+  at fault; recovery falls back to the previous checkpoint or a cold start.
+
+``TransientError`` marks the dependency errors that retrying may fix;
+:func:`is_transient` is what the ingestor's retry loop consults.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of every handled failure in the serving path."""
+
+
+# ---------------------------------------------------------------------- #
+# input (per-record) errors — dead-letter the record, keep streaming
+# ---------------------------------------------------------------------- #
+class MalformedTweetError(ReproError):
+    """A tweet record is structurally invalid (empty text, NaN/negative
+    timestamp, negative ids, wrong field types) and cannot be repaired."""
+
+
+class UnknownUserError(ReproError):
+    """A tweet's author is not a node of the follow graph / user universe."""
+
+
+class StaleTimestampError(ReproError):
+    """A tweet arrived after the watermark had already passed its timestamp
+    by more than the allowed lateness — admitting it would rewrite recency
+    windows that were already served."""
+
+
+class DuplicateTweetError(ReproError):
+    """A tweet id was already ingested; re-admitting it would double-count
+    links in the complemented knowledgebase."""
+
+
+# ---------------------------------------------------------------------- #
+# dependency errors — degrade, retry, or trip the breaker
+# ---------------------------------------------------------------------- #
+class TransientError(ReproError):
+    """A failure that retrying with backoff may resolve."""
+
+
+class IndexUnavailableError(TransientError):
+    """A reachability index (or other remote dependency) failed to answer."""
+
+
+class DeadlineExceededError(ReproError):
+    """A per-mention latency budget ran out mid-computation.
+
+    Deliberately *not* transient: the budget is gone for this mention, the
+    caller must degrade rather than retry within the same request.
+    """
+
+
+class CircuitOpenError(IndexUnavailableError):
+    """The circuit breaker is open: the dependency is presumed down and the
+    call was rejected without being attempted.
+
+    Subclasses :class:`IndexUnavailableError` so linker code degrades the
+    same way whether the provider failed or was never asked.
+    """
+
+
+# ---------------------------------------------------------------------- #
+# state errors — recovery path
+# ---------------------------------------------------------------------- #
+class CheckpointCorruptError(ReproError):
+    """A checkpoint failed structural, version, or checksum verification."""
+
+
+def is_transient(error: BaseException) -> bool:
+    """Whether the ingestor's retry loop should re-attempt after ``error``."""
+    return isinstance(error, TransientError)

@@ -7,6 +7,13 @@ Wikipedia Link-based Measure (WLM).
 """
 
 from repro.kb.builder import KBProfile, SyntheticWikipediaBuilder, SyntheticKB
+from repro.kb.checkpoint import (
+    StreamCheckpoint,
+    load_checkpoint,
+    restore,
+    save_checkpoint,
+    snapshot,
+)
 from repro.kb.complemented import ComplementedKnowledgebase, LinkedTweet
 from repro.kb.deletion_index import DeletionIndex
 from repro.kb.entity import Entity, EntityCategory
@@ -23,7 +30,12 @@ __all__ = [
     "Knowledgebase",
     "LinkedTweet",
     "SegmentIndex",
+    "StreamCheckpoint",
     "SyntheticKB",
     "SyntheticWikipediaBuilder",
+    "load_checkpoint",
+    "restore",
+    "save_checkpoint",
+    "snapshot",
     "wlm_relatedness",
 ]

@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import bisect
 import dataclasses
+import math
 from collections import Counter
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Sequence, Set, Tuple
 
 from repro.kb.knowledgebase import Knowledgebase
 
@@ -64,6 +65,11 @@ class ComplementedKnowledgebase:
         with two bisections even when links arrive out of order (backfills
         during offline complementation).
         """
+        if not math.isfinite(timestamp):
+            # NaN compares False against everything, so bisect.insort would
+            # park it at an arbitrary position and silently break the sorted
+            # invariant every recency query depends on.
+            raise ValueError(f"link timestamp must be finite, got {timestamp!r}")
         self._kb.entity(entity_id)  # raises KeyError on bad id
         record = LinkedTweet(user=user, timestamp=timestamp, tweet_id=tweet_id)
         self._tweets.setdefault(entity_id, []).append(record)
@@ -151,6 +157,14 @@ class ComplementedKnowledgebase:
     def linked_entities(self) -> List[int]:
         """Entity ids with at least one linked tweet."""
         return list(self._tweets.keys())
+
+    def iter_links(self) -> Iterator[Tuple[int, LinkedTweet]]:
+        """Every stored ``(entity_id, linked_tweet)`` pair, grouped by
+        entity in insertion order — the serialization feed for
+        :mod:`repro.kb.checkpoint`."""
+        for entity_id, records in self._tweets.items():
+            for record in records:
+                yield entity_id, record
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

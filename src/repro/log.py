@@ -1,0 +1,56 @@
+"""Structured logging scaffold.
+
+Library modules obtain a logger with :func:`get_logger` and never
+configure handlers — importing :mod:`repro` must not touch the root
+logger or hijack an application's logging setup.  Entry points (the CLI,
+a service ``main()``) call :func:`configure_logging` exactly once.
+
+A ``NullHandler`` is attached to the package root so that library
+warnings emitted before any configuration do not trigger the
+"No handlers could be found" noise.
+"""
+
+from __future__ import annotations
+
+import logging
+
+#: Root logger name of the package; every module logger is a child.
+ROOT = "repro"
+
+logging.getLogger(ROOT).addHandler(logging.NullHandler())
+
+#: Default line format: time, level, module, message — grep-friendly.
+LOG_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Module-level logger, namespaced under the package root.
+
+    Pass ``__name__``; absolute (``repro.stream.ingest``) and already-
+    qualified names are used as-is, anything else is nested under
+    ``repro.``.
+    """
+    if name == ROOT or name.startswith(ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT}.{name}")
+
+
+def configure_logging(level: str = "WARNING") -> None:
+    """Attach a stderr handler to the package root (idempotent per stream).
+
+    Only entry points call this.  Tables and other primary CLI output
+    stay on stdout; diagnostics go to stderr so piping results remains
+    clean.  Re-invoking replaces the previous stream handler, so a
+    process that swaps ``sys.stderr`` (test harnesses do) never logs
+    into a closed stream.
+    """
+    logger = logging.getLogger(ROOT)
+    logger.setLevel(getattr(logging, level.upper(), logging.WARNING))
+    for handler in list(logger.handlers):
+        if isinstance(handler, logging.StreamHandler) and not isinstance(
+            handler, logging.NullHandler
+        ):
+            logger.removeHandler(handler)
+    handler = logging.StreamHandler()
+    handler.setFormatter(logging.Formatter(LOG_FORMAT))
+    logger.addHandler(handler)

@@ -1,0 +1,5 @@
+"""Resilience primitives shared by the online serving path."""
+
+from repro.resilience.breaker import BreakerState, CircuitBreaker
+
+__all__ = ["BreakerState", "CircuitBreaker"]

@@ -1,0 +1,148 @@
+"""Circuit breaker for flaky dependencies (reachability indexes, stores).
+
+A degraded provider that fails every call still costs a full timeout per
+mention; under heavy traffic that converts one slow dependency into a
+stalled stream.  The breaker converts repeated failures into *fast*
+failures (:class:`~repro.errors.CircuitOpenError`), then periodically lets
+a single probe call through to detect recovery — the classic
+closed → open → half-open automaton.
+
+The clock is injectable so tests (and the fault-injection harness) drive
+state transitions deterministically without sleeping.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from typing import Callable, TypeVar
+
+from repro.errors import CircuitOpenError
+from repro.log import get_logger
+
+T = TypeVar("T")
+
+_log = get_logger(__name__)
+
+
+class BreakerState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """Failure-counting breaker with timed recovery probes.
+
+    Parameters
+    ----------
+    failure_threshold:
+        Consecutive failures that trip the breaker open.
+    recovery_timeout:
+        Seconds the breaker stays open before admitting a probe call.
+    success_threshold:
+        Consecutive half-open successes required to close again.
+    clock:
+        Monotonic time source; injectable for deterministic tests.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        recovery_timeout: float = 30.0,
+        success_threshold: int = 1,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if recovery_timeout <= 0:
+            raise ValueError("recovery_timeout must be positive")
+        if success_threshold < 1:
+            raise ValueError("success_threshold must be at least 1")
+        self._failure_threshold = failure_threshold
+        self._recovery_timeout = recovery_timeout
+        self._success_threshold = success_threshold
+        self._clock = clock
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._successes = 0
+        self._opened_at = 0.0
+        self._trip_count = 0
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def state(self) -> BreakerState:
+        """Current state, accounting for an elapsed recovery timeout."""
+        if (
+            self._state is BreakerState.OPEN
+            and self._clock() - self._opened_at >= self._recovery_timeout
+        ):
+            self._state = BreakerState.HALF_OPEN
+            self._successes = 0
+        return self._state
+
+    @property
+    def trip_count(self) -> int:
+        """How many times the breaker has tripped open (for monitoring)."""
+        return self._trip_count
+
+    # ------------------------------------------------------------------ #
+    # protocol
+    # ------------------------------------------------------------------ #
+    def allow(self) -> bool:
+        """Whether a call may proceed right now."""
+        return self.state is not BreakerState.OPEN
+
+    def record_success(self) -> None:
+        self._failures = 0
+        if self._state is BreakerState.HALF_OPEN:
+            self._successes += 1
+            if self._successes >= self._success_threshold:
+                self._state = BreakerState.CLOSED
+                _log.info("circuit closed after successful probe")
+
+    def record_failure(self) -> None:
+        self._successes = 0
+        if self._state is BreakerState.HALF_OPEN:
+            self._trip(reason="probe failed")
+            return
+        self._failures += 1
+        if self._failures >= self._failure_threshold:
+            self._trip(reason=f"{self._failures} consecutive failures")
+
+    def call(self, fn: Callable[..., T], *args, **kwargs) -> T:
+        """Run ``fn`` under the breaker, recording the outcome.
+
+        Raises :class:`~repro.errors.CircuitOpenError` without calling
+        ``fn`` while the breaker is open.
+        """
+        if not self.allow():
+            raise CircuitOpenError(
+                f"circuit open for another "
+                f"{self._recovery_timeout - (self._clock() - self._opened_at):.3f}s"
+            )
+        try:
+            result = fn(*args, **kwargs)
+        except Exception:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def reset(self) -> None:
+        """Force-close the breaker (administrative override)."""
+        self._state = BreakerState.CLOSED
+        self._failures = 0
+        self._successes = 0
+
+    def _trip(self, reason: str) -> None:
+        self._state = BreakerState.OPEN
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._trip_count += 1
+        _log.warning("circuit opened (%s)", reason)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CircuitBreaker(state={self.state.value}, trips={self._trip_count})"

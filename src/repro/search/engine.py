@@ -46,6 +46,9 @@ class SearchResponse:
     linked_entities: List[ScoredCandidate]
     hits: List[SearchHit]
     used_fallback: bool
+    #: True when at least one mention was linked under degraded
+    #: (no-interest fallback) scoring — personalization was reduced.
+    degraded: bool = False
 
 
 class PersonalizedSearchEngine:
@@ -85,20 +88,33 @@ class PersonalizedSearchEngine:
         """Run one personalized query issued by ``user`` at time ``now``."""
         parsed = self._parser.parse(text)
         linked: List[ScoredCandidate] = []
+        degraded = False
         config = self._linker.config
         for surface in parsed.mentions:
             result = self._linker.link(surface, user=user, now=now)
-            linked.extend(
-                result.top_k(config.top_k, threshold=config.no_interest_bound)
-            )
+            degraded = degraded or result.degraded
+            # The Appendix-D bound filters candidates whose interest was
+            # *measured* as absent; a degraded result never measured it
+            # (every score is ≤ β+γ by construction), so applying the
+            # threshold would blank entity search for the whole outage.
+            threshold = None if result.degraded else config.no_interest_bound
+            linked.extend(result.top_k(config.top_k, threshold=threshold))
         if not linked:
             hits = self._keyword_fallback(parsed, now, limit)
             return SearchResponse(
-                query=parsed, linked_entities=[], hits=hits, used_fallback=True
+                query=parsed,
+                linked_entities=[],
+                hits=hits,
+                used_fallback=True,
+                degraded=degraded,
             )
         hits = self._entity_hits(parsed, linked, now, limit)
         return SearchResponse(
-            query=parsed, linked_entities=linked, hits=hits, used_fallback=False
+            query=parsed,
+            linked_entities=linked,
+            hits=hits,
+            used_fallback=False,
+            degraded=degraded,
         )
 
     # ------------------------------------------------------------------ #

@@ -3,6 +3,12 @@
 from repro.stream.dataset import DatasetCatalog, TweetDataset, split_by_activity
 from repro.stream.events import Event, EventTimeline
 from repro.stream.generator import StreamProfile, TweetStreamGenerator, SyntheticWorld
+from repro.stream.ingest import (
+    DeadLetter,
+    IngestStats,
+    ResilientIngestor,
+    TweetValidator,
+)
 from repro.stream.profiles import (
     STARVED_KB_PROFILE,
     STARVED_PROFILE,
@@ -14,9 +20,13 @@ from repro.stream.tweet import MentionSpan, Tweet
 
 __all__ = [
     "DatasetCatalog",
+    "DeadLetter",
     "Event",
     "EventTimeline",
+    "IngestStats",
     "MentionSpan",
+    "ResilientIngestor",
+    "TweetValidator",
     "STARVED_KB_PROFILE",
     "STARVED_PROFILE",
     "StreamProfile",

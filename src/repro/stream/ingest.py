@@ -1,0 +1,352 @@
+"""Resilient stream ingestion for the online linker (Sec. 3.2.2).
+
+The eval harness replays clean, chronologically sorted synthetic streams.
+A live microblog feed is neither: records arrive late and out of order,
+carry empty text or NaN timestamps, repeat tweet ids on provider retries,
+and the feed itself fails transiently.  This module is the admission
+control in front of :class:`~repro.kb.complemented.ComplementedKnowledgebase`
+and the linker:
+
+* :class:`TweetValidator` — repairs what is safely repairable (whitespace,
+  numeric strings) and rejects the rest with a typed reason;
+* :class:`ResilientIngestor` — watermark-based reordering buffer that
+  re-serializes out-of-order arrivals within a configurable lateness
+  bound, a seeded exponential-backoff retry helper for transient feed
+  failures, and a dead-letter queue so nothing is silently dropped;
+* :class:`DeadLetter` / :class:`IngestStats` — the observability surface.
+
+Everything is deterministic under a fixed seed and an injected clock, so
+the fault-injection tests can replay exact failure schedules.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import heapq
+import math
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, TypeVar, Union
+
+from repro.errors import (
+    DuplicateTweetError,
+    MalformedTweetError,
+    ReproError,
+    StaleTimestampError,
+    UnknownUserError,
+    is_transient,
+)
+from repro.log import get_logger
+from repro.stream.tweet import MentionSpan, Tweet
+
+T = TypeVar("T")
+
+_log = get_logger(__name__)
+
+#: Anything the validator accepts: an already-constructed tweet or a raw
+#: provider record (field dict).
+RawRecord = Union[Tweet, Dict[str, object]]
+
+
+@dataclasses.dataclass(frozen=True)
+class DeadLetter:
+    """One rejected record with a structured reason."""
+
+    record: RawRecord
+    reason: str
+    error: str
+
+    @classmethod
+    def from_error(cls, record: RawRecord, error: ReproError) -> "DeadLetter":
+        reason = {
+            MalformedTweetError: "malformed",
+            UnknownUserError: "unknown_user",
+            StaleTimestampError: "stale",
+            DuplicateTweetError: "duplicate",
+        }.get(type(error), "error")
+        return cls(record=record, reason=reason, error=str(error))
+
+
+@dataclasses.dataclass
+class IngestStats:
+    """Counters describing one ingestor's lifetime."""
+
+    received: int = 0
+    admitted: int = 0
+    repaired: int = 0
+    emitted: int = 0
+    dead_lettered: int = 0
+    duplicates: int = 0
+    stale: int = 0
+    retries: int = 0
+
+    def as_row(self) -> Dict[str, int]:
+        return dataclasses.asdict(self)
+
+
+class TweetValidator:
+    """Validate (and conservatively repair) raw tweet records.
+
+    Repairs are limited to changes that cannot alter linking semantics:
+    stripping surrounding whitespace from text, and coercing numeric
+    strings / ints to the declared field types.  Anything else — empty
+    text, non-finite or negative timestamps, negative ids, unknown
+    authors — raises the matching taxonomy error.
+    """
+
+    def __init__(
+        self,
+        known_users: Optional[Iterable[int]] = None,
+        min_timestamp: float = 0.0,
+    ) -> None:
+        self._known_users = frozenset(known_users) if known_users is not None else None
+        self._min_timestamp = min_timestamp
+        self.repairs = 0
+
+    def validate(self, record: RawRecord) -> Tweet:
+        """Return a clean :class:`Tweet` or raise a taxonomy error."""
+        if isinstance(record, Tweet):
+            tweet = record
+        elif isinstance(record, dict):
+            tweet = self._from_mapping(record)
+        else:
+            raise MalformedTweetError(
+                f"unsupported record type {type(record).__name__}"
+            )
+        if not math.isfinite(tweet.timestamp) or tweet.timestamp < self._min_timestamp:
+            raise MalformedTweetError(
+                f"timestamp {tweet.timestamp!r} outside [{self._min_timestamp}, inf)"
+            )
+        if self._known_users is not None and tweet.user not in self._known_users:
+            raise UnknownUserError(f"author {tweet.user} not in the user universe")
+        return tweet
+
+    def _from_mapping(self, record: Dict[str, object]) -> Tweet:
+        try:
+            tweet_id = int(record["tweet_id"])  # type: ignore[arg-type]
+            user = int(record["user"])  # type: ignore[arg-type]
+            timestamp = float(record["timestamp"])  # type: ignore[arg-type]
+            text = record["text"]
+        except (KeyError, TypeError, ValueError) as exc:
+            raise MalformedTweetError(f"unparseable record fields: {exc}") from exc
+        if not isinstance(text, str):
+            raise MalformedTweetError(f"text must be a string, got {type(text).__name__}")
+        stripped = text.strip()
+        if stripped != text:
+            self.repairs += 1
+        mentions = self._mentions(record.get("mentions", ()))
+        try:
+            return Tweet(
+                tweet_id=tweet_id,
+                user=user,
+                timestamp=timestamp,
+                text=stripped,
+                mentions=mentions,
+            )
+        except ValueError as exc:
+            raise MalformedTweetError(str(exc)) from exc
+
+    @staticmethod
+    def _mentions(raw: object) -> Tuple[MentionSpan, ...]:
+        if not isinstance(raw, (list, tuple)):
+            raise MalformedTweetError("mentions must be a sequence")
+        spans: List[MentionSpan] = []
+        for item in raw:
+            try:
+                if isinstance(item, MentionSpan):
+                    spans.append(item)
+                elif isinstance(item, str):
+                    spans.append(MentionSpan(surface=item))
+                elif isinstance(item, dict):
+                    spans.append(
+                        MentionSpan(
+                            surface=str(item["surface"]),
+                            true_entity=item.get("true_entity"),  # type: ignore[arg-type]
+                        )
+                    )
+                else:
+                    raise MalformedTweetError(
+                        f"unsupported mention type {type(item).__name__}"
+                    )
+            except (KeyError, ValueError) as exc:
+                raise MalformedTweetError(f"bad mention {item!r}: {exc}") from exc
+        return tuple(spans)
+
+
+class ResilientIngestor:
+    """Watermark-ordered, validated, retry-capable stream admission.
+
+    The ingestor re-serializes a disordered feed: arrivals are buffered
+    until the *watermark* (latest event time seen minus ``lateness``)
+    passes their timestamp, then released in ``(timestamp, tweet_id)``
+    order.  A stream delivered out of order — within the lateness bound —
+    therefore produces byte-identical downstream state to in-order
+    delivery.  Arrivals older than the watermark, duplicates, and
+    unrepairable records go to :attr:`dead_letters` with a typed reason.
+
+    Parameters
+    ----------
+    lateness:
+        How far (seconds) event time may lag the newest arrival before a
+        record counts as too late.  0 admits only monotone streams.
+    max_buffer:
+        Backpressure bound; when exceeded, the oldest buffered tweets are
+        force-emitted even though the watermark has not reached them.
+    max_retries / backoff_base / backoff_cap:
+        Retry policy of :meth:`fetch` for transient feed errors —
+        exponential backoff with full jitter, seeded for determinism.
+    seen_ids:
+        Tweet ids already applied downstream (from a checkpoint); arrivals
+        with these ids dead-letter as duplicates instead of double-counting.
+    sleep:
+        Injectable sleep for tests; defaults to a no-op accumulator (the
+        waits are recorded in :attr:`total_backoff`).
+    """
+
+    def __init__(
+        self,
+        validator: Optional[TweetValidator] = None,
+        lateness: float = 0.0,
+        max_buffer: int = 1024,
+        max_retries: int = 3,
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        seed: int = 0,
+        seen_ids: Iterable[int] = (),
+        max_dead_letters: int = 10_000,
+        sleep: Optional[Callable[[float], None]] = None,
+    ) -> None:
+        if lateness < 0:
+            raise ValueError("lateness must be non-negative")
+        if max_buffer < 1:
+            raise ValueError("max_buffer must be positive")
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self._validator = validator or TweetValidator()
+        self._lateness = lateness
+        self._max_buffer = max_buffer
+        self._max_retries = max_retries
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self._seen: Set[int] = set(seen_ids)
+        self._buffer: List[Tuple[float, int, Tweet]] = []
+        self._max_event_time = -math.inf
+        self._max_dead_letters = max_dead_letters
+        self.dead_letters: List[DeadLetter] = []
+        self.stats = IngestStats()
+        self.total_backoff = 0.0
+
+    # ------------------------------------------------------------------ #
+    # admission
+    # ------------------------------------------------------------------ #
+    @property
+    def watermark(self) -> float:
+        """Event time up to which the stream is considered complete."""
+        return self._max_event_time - self._lateness
+
+    @property
+    def seen_ids(self) -> Set[int]:
+        """Ids admitted so far (including those preloaded from a checkpoint)."""
+        return set(self._seen)
+
+    @property
+    def pending(self) -> int:
+        """Tweets buffered awaiting the watermark."""
+        return len(self._buffer)
+
+    def push(self, record: RawRecord) -> List[Tweet]:
+        """Admit one record; return the tweets released by its arrival.
+
+        Invalid records are dead-lettered (never raised) so one poison
+        record cannot stall the stream.
+        """
+        self.stats.received += 1
+        repairs_before = self._validator.repairs
+        try:
+            tweet = self._validator.validate(record)
+            if tweet.tweet_id in self._seen:
+                raise DuplicateTweetError(f"tweet id {tweet.tweet_id} already ingested")
+            if tweet.timestamp < self.watermark:
+                raise StaleTimestampError(
+                    f"tweet {tweet.tweet_id} at t={tweet.timestamp:.3f} is behind "
+                    f"the watermark {self.watermark:.3f}"
+                )
+        except ReproError as exc:
+            self._dead_letter(record, exc)
+            return []
+        self.stats.admitted += 1
+        self.stats.repaired += self._validator.repairs - repairs_before
+        self._seen.add(tweet.tweet_id)
+        heapq.heappush(self._buffer, (tweet.timestamp, tweet.tweet_id, tweet))
+        self._max_event_time = max(self._max_event_time, tweet.timestamp)
+        return self._release()
+
+    def flush(self) -> List[Tweet]:
+        """Release every buffered tweet (end of stream / before checkpoint)."""
+        released = [item[2] for item in sorted(self._buffer)]
+        self._buffer.clear()
+        self.stats.emitted += len(released)
+        return released
+
+    def _release(self) -> List[Tweet]:
+        released: List[Tweet] = []
+        watermark = self.watermark
+        while self._buffer and (
+            self._buffer[0][0] <= watermark or len(self._buffer) > self._max_buffer
+        ):
+            released.append(heapq.heappop(self._buffer)[2])
+        self.stats.emitted += len(released)
+        return released
+
+    def _dead_letter(self, record: RawRecord, error: ReproError) -> None:
+        letter = DeadLetter.from_error(record, error)
+        self.stats.dead_lettered += 1
+        if letter.reason == "duplicate":
+            self.stats.duplicates += 1
+        elif letter.reason == "stale":
+            self.stats.stale += 1
+        if len(self.dead_letters) < self._max_dead_letters:
+            self.dead_letters.append(letter)
+        _log.warning("dead-lettered record (%s): %s", letter.reason, letter.error)
+
+    # ------------------------------------------------------------------ #
+    # transient-failure retry
+    # ------------------------------------------------------------------ #
+    def fetch(self, provider: Callable[[], T]) -> T:
+        """Call a flaky zero-arg provider with backoff + full jitter.
+
+        Retries only errors for which :func:`repro.errors.is_transient`
+        holds; other exceptions propagate immediately.  The final
+        transient error propagates after ``max_retries`` re-attempts.
+        """
+        attempt = 0
+        while True:
+            try:
+                return provider()
+            except Exception as exc:
+                if not is_transient(exc) or attempt >= self._max_retries:
+                    raise
+                delay = min(
+                    self._backoff_cap, self._backoff_base * (2.0**attempt)
+                ) * self._rng.random()
+                attempt += 1
+                self.stats.retries += 1
+                self.total_backoff += delay
+                _log.info(
+                    "transient feed error (attempt %d/%d, backing off %.3fs): %s",
+                    attempt,
+                    self._max_retries,
+                    delay,
+                    exc,
+                )
+                if self._sleep is not None:
+                    self._sleep(delay)
+
+    def ingest(self, records: Iterable[RawRecord]) -> List[Tweet]:
+        """Push a batch of records and return everything released, without
+        flushing the reordering buffer."""
+        released: List[Tweet] = []
+        for record in records:
+            released.extend(self.push(record))
+        return released

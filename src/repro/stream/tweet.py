@@ -9,6 +9,7 @@ it; only :mod:`repro.eval.metrics` does.
 from __future__ import annotations
 
 import dataclasses
+import math
 from typing import List, Optional, Tuple
 
 
@@ -21,16 +22,41 @@ class MentionSpan:
     #: where the generator planted nothing (spurious recognitions).
     true_entity: Optional[int] = None
 
+    def __post_init__(self) -> None:
+        if not isinstance(self.surface, str) or not self.surface.strip():
+            raise ValueError(f"mention surface must be non-empty, got {self.surface!r}")
+
 
 @dataclasses.dataclass(frozen=True)
 class Tweet:
-    """A microblog posting ``d`` with author ``d.u`` and timestamp ``d.t``."""
+    """A microblog posting ``d`` with author ``d.u`` and timestamp ``d.t``.
+
+    Construction validates the invariants every downstream structure
+    assumes (sorted timestamp lists, non-negative ids, tokenizable text);
+    dirty records from a live stream must be repaired or rejected *before*
+    they become :class:`Tweet` objects — see
+    :class:`repro.stream.ingest.TweetValidator`.
+    """
 
     tweet_id: int
     user: int
     timestamp: float
     text: str
     mentions: Tuple[MentionSpan, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.tweet_id < 0:
+            raise ValueError(f"tweet_id must be non-negative, got {self.tweet_id}")
+        if self.user < 0:
+            raise ValueError(f"user must be non-negative, got {self.user}")
+        if not isinstance(self.timestamp, (int, float)) or not math.isfinite(
+            self.timestamp
+        ):
+            raise ValueError(f"timestamp must be finite, got {self.timestamp!r}")
+        if self.timestamp < 0:
+            raise ValueError(f"timestamp must be non-negative, got {self.timestamp}")
+        if not isinstance(self.text, str) or not self.text.strip():
+            raise ValueError("tweet text must be non-empty")
 
     @property
     def num_mentions(self) -> int:

@@ -1,0 +1,21 @@
+"""Deterministic fault-injection utilities for resilience testing."""
+
+from repro.testing.faults import (
+    FakeClock,
+    FaultSchedule,
+    FlakyKnowledgebase,
+    FlakyReachabilityProvider,
+    FlakyTweetSource,
+    FlakyTweetStore,
+    corrupt_record,
+)
+
+__all__ = [
+    "FakeClock",
+    "FaultSchedule",
+    "FlakyKnowledgebase",
+    "FlakyReachabilityProvider",
+    "FlakyTweetSource",
+    "FlakyTweetStore",
+    "corrupt_record",
+]

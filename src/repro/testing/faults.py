@@ -1,0 +1,247 @@
+"""Seeded fault injection for the online serving path.
+
+Resilience claims are only testable if failures are *reproducible*: a
+flaky test that sometimes injects zero faults proves nothing.  Every
+wrapper here consults a :class:`FaultSchedule` — a deterministic decision
+source driven by a seed, explicit call indices, or a fail-the-first-N
+prefix — so ``tests/test_resilience.py`` can replay the exact same
+failure pattern on every run.
+
+Wrappers exist for the three dependencies the linker's online path
+touches: the reachability provider (errors + injected latency against a
+:class:`FakeClock`), the complemented knowledgebase (transient write
+failures), and the tweet store (lookup failures / corrupt records).
+:class:`FlakyTweetSource` plays the role of an unreliable feed in front
+of :class:`~repro.stream.ingest.ResilientIngestor`.
+
+Nothing in this module is imported by production code paths — fault
+injection is strictly opt-in wiring.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+
+from repro.errors import IndexUnavailableError
+from repro.kb.complemented import ComplementedKnowledgebase
+from repro.stream.ingest import RawRecord
+from repro.stream.tweet import Tweet
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock (callable like ``time.monotonic``)."""
+
+    def __init__(self, start: float = 0.0) -> None:
+        self.now = start
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        if seconds < 0:
+            raise ValueError("clocks only move forward")
+        self.now += seconds
+
+
+class FaultSchedule:
+    """Deterministic per-call fault decisions.
+
+    A call faults when its index (0-based, per schedule instance) is in
+    ``fail_calls``, is below ``fail_first``, or when the seeded RNG draws
+    below ``error_rate``.  The three mechanisms compose; with none set
+    the schedule never faults.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        error_rate: float = 0.0,
+        fail_calls: Iterable[int] = (),
+        fail_first: int = 0,
+    ) -> None:
+        if not 0.0 <= error_rate <= 1.0:
+            raise ValueError("error_rate must be in [0, 1]")
+        self._rng = random.Random(seed)
+        self._error_rate = error_rate
+        self._fail_calls: Set[int] = set(fail_calls)
+        self._fail_first = fail_first
+        self.calls = 0
+        self.faults = 0
+
+    def should_fault(self) -> bool:
+        index = self.calls
+        self.calls += 1
+        fault = (
+            index in self._fail_calls
+            or index < self._fail_first
+            or (self._error_rate > 0.0 and self._rng.random() < self._error_rate)
+        )
+        self.faults += int(fault)
+        return fault
+
+
+class FlakyReachabilityProvider:
+    """Wrap a reachability provider with injected errors and latency.
+
+    ``latency`` seconds are added to ``clock`` on *every* call (faulting
+    or not) when a clock is given — that is how deadline-budget tests
+    simulate a slow index without real sleeping.
+    """
+
+    def __init__(
+        self,
+        inner,
+        schedule: Optional[FaultSchedule] = None,
+        clock: Optional[FakeClock] = None,
+        latency: float = 0.0,
+        error: Callable[[str], Exception] = IndexUnavailableError,
+    ) -> None:
+        self._inner = inner
+        self._schedule = schedule or FaultSchedule()
+        self._clock = clock
+        self._latency = latency
+        self._error = error
+        self.calls = 0
+
+    def reachability(self, source: int, target: int) -> float:
+        self.calls += 1
+        if self._clock is not None and self._latency > 0.0:
+            self._clock.advance(self._latency)
+        if self._schedule.should_fault():
+            raise self._error(f"injected reachability fault ({source}->{target})")
+        return self._inner.reachability(source, target)
+
+
+class FlakyKnowledgebase:
+    """A complemented-KB proxy whose writes fail on schedule.
+
+    Reads always succeed (they are local dictionary lookups in any
+    deployment); :meth:`link_tweet` simulates a flaky persistence layer.
+    Unlisted attributes delegate to the wrapped instance.
+    """
+
+    def __init__(
+        self, inner: ComplementedKnowledgebase, schedule: Optional[FaultSchedule] = None
+    ) -> None:
+        self._inner = inner
+        self._schedule = schedule or FaultSchedule()
+
+    def link_tweet(
+        self, entity_id: int, user: int, timestamp: float, tweet_id: int = -1
+    ) -> None:
+        if self._schedule.should_fault():
+            raise IndexUnavailableError(
+                f"injected KB write fault (entity {entity_id})"
+            )
+        self._inner.link_tweet(entity_id, user, timestamp, tweet_id)
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+
+class FlakyTweetStore:
+    """A tweet-store proxy injecting lookup failures and corrupt payloads."""
+
+    def __init__(
+        self,
+        inner,
+        schedule: Optional[FaultSchedule] = None,
+        corrupt_schedule: Optional[FaultSchedule] = None,
+    ) -> None:
+        self._inner = inner
+        self._schedule = schedule or FaultSchedule()
+        self._corrupt = corrupt_schedule or FaultSchedule()
+
+    def get(self, tweet_id: int) -> Optional[Tweet]:
+        if self._schedule.should_fault():
+            raise IndexUnavailableError(f"injected store fault (tweet {tweet_id})")
+        tweet = self._inner.get(tweet_id)
+        if tweet is not None and self._corrupt.should_fault():
+            return Tweet(
+                tweet_id=tweet.tweet_id,
+                user=tweet.user,
+                timestamp=tweet.timestamp,
+                text="�" * max(1, len(tweet.text) // 2),
+                mentions=(),
+            )
+        return tweet
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+
+class FlakyTweetSource:
+    """An unreliable feed: raises transiently, then yields the next record.
+
+    Drive it through :meth:`ResilientIngestor.fetch`, which retries the
+    injected :class:`~repro.errors.IndexUnavailableError` with backoff::
+
+        source = FlakyTweetSource(records, FaultSchedule(error_rate=0.2, seed=7))
+        while not source.exhausted:
+            ingestor.push(ingestor.fetch(source))
+    """
+
+    def __init__(
+        self, records: Sequence[RawRecord], schedule: Optional[FaultSchedule] = None
+    ) -> None:
+        self._records = list(records)
+        self._schedule = schedule or FaultSchedule()
+        self._cursor = 0
+
+    @property
+    def exhausted(self) -> bool:
+        return self._cursor >= len(self._records)
+
+    def __call__(self) -> RawRecord:
+        if self.exhausted:
+            raise StopIteration("feed exhausted")
+        if self._schedule.should_fault():
+            raise IndexUnavailableError(
+                f"injected feed fault before record {self._cursor}"
+            )
+        record = self._records[self._cursor]
+        self._cursor += 1
+        return record
+
+
+def corrupt_record(tweet: Tweet, mode: str) -> Dict[str, object]:
+    """Render a clean tweet as a raw record broken in a chosen ``mode``.
+
+    Modes: ``empty_text``, ``nan_timestamp``, ``negative_timestamp``,
+    ``negative_id``, ``missing_field``, ``wrong_type``.
+    """
+    record: Dict[str, object] = {
+        "tweet_id": tweet.tweet_id,
+        "user": tweet.user,
+        "timestamp": tweet.timestamp,
+        "text": tweet.text,
+        "mentions": [m.surface for m in tweet.mentions],
+    }
+    if mode == "empty_text":
+        record["text"] = "   "
+    elif mode == "nan_timestamp":
+        record["timestamp"] = float("nan")
+    elif mode == "negative_timestamp":
+        record["timestamp"] = -abs(tweet.timestamp) - 1.0
+    elif mode == "negative_id":
+        record["tweet_id"] = -tweet.tweet_id - 1
+    elif mode == "missing_field":
+        del record["text"]
+    elif mode == "wrong_type":
+        record["timestamp"] = "not-a-number-🕰"
+    else:
+        raise ValueError(f"unknown corruption mode {mode!r}")
+    return record
+
+
+def corruption_modes() -> List[str]:
+    """Every mode :func:`corrupt_record` understands (for parametrized tests)."""
+    return [
+        "empty_text",
+        "nan_timestamp",
+        "negative_timestamp",
+        "negative_id",
+        "missing_field",
+        "wrong_type",
+    ]

@@ -92,7 +92,7 @@ class TestLink:
         out = capsys.readouterr().out
         assert "score" in out
 
-    def test_unknown_surface_fails(self, world_file, capsys):
+    def test_unknown_surface_fails(self, world_file, caplog):
         code = main(
             [
                 "link", "--world", world_file, "--surface", "zzzzzzzzz",
@@ -100,7 +100,7 @@ class TestLink:
             ]
         )
         assert code == 1
-        assert "no candidates" in capsys.readouterr().out
+        assert "no candidates" in caplog.text
 
 
 class TestSearch:

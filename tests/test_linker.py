@@ -3,7 +3,7 @@
 import pytest
 
 from repro.config import DAY, LinkerConfig
-from repro.core.linker import SocialTemporalLinker
+from repro.core.linker import LinkResult, ScoredCandidate, SocialTemporalLinker
 from repro.graph.digraph import DiGraph
 from repro.graph.transitive_closure import build_transitive_closure_incremental
 from repro.stream.tweet import MentionSpan, Tweet
@@ -102,6 +102,57 @@ class TestTopK:
         # isolated user: every candidate scores <= beta + gamma
         bound = linker.config.no_interest_bound
         assert result.top_k(3, threshold=bound + 1.0) == []
+
+
+class TestAbstentionEdgeCases:
+    """Appendix-D false-positive guard, at its boundary conditions."""
+
+    def test_empty_candidate_set(self, linker):
+        result = linker.link("no such surface", user=0, now=100 * DAY)
+        assert result.ranked == ()
+        assert result.best is None
+        assert result.top_k(5) == []
+        assert result.top_k(5, threshold=0.0) == []
+
+    def test_scores_exactly_at_bound_are_filtered(self, linker):
+        # the Appendix-D guard is a *strict* inequality: a score equal to
+        # beta + gamma is indistinguishable from "no measured interest"
+        # and must be dropped
+        bound = linker.config.no_interest_bound
+        result = LinkResult(
+            surface="jordan",
+            user=6,
+            timestamp=100 * DAY,
+            ranked=(
+                ScoredCandidate(
+                    entity_id=0, score=bound, interest=0.0,
+                    recency=0.5, popularity=0.5,
+                ),
+                ScoredCandidate(
+                    entity_id=1, score=bound, interest=0.0,
+                    recency=0.4, popularity=0.6,
+                ),
+            ),
+        )
+        assert result.top_k(2, threshold=bound) == []
+        # strictly above the bound survives
+        above = LinkResult(
+            surface="jordan",
+            user=6,
+            timestamp=100 * DAY,
+            ranked=(
+                ScoredCandidate(
+                    entity_id=0, score=bound + 1e-9, interest=1e-9,
+                    recency=0.5, popularity=0.5,
+                ),
+            ),
+        )
+        assert [c.entity_id for c in above.top_k(2, threshold=bound)] == [0]
+
+    def test_top_k_zero_returns_empty(self, linker):
+        result = linker.link("jordan", user=0, now=100 * DAY)
+        assert result.top_k(0) == []
+        assert result.top_k(0, threshold=0.0) == []
 
 
 class TestFeedback:

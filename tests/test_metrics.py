@@ -17,7 +17,7 @@ def tweet_with(tweet_id, truths):
         tweet_id=tweet_id,
         user=0,
         timestamp=0.0,
-        text="",
+        text="m",
         mentions=tuple(MentionSpan("m", true_entity=t) for t in truths),
     )
 
@@ -57,7 +57,7 @@ class TestMentionAndTweetAccuracy:
 
     def test_unlabeled_mentions_skipped(self):
         tweet = Tweet(
-            tweet_id=1, user=0, timestamp=0.0, text="",
+            tweet_id=1, user=0, timestamp=0.0, text="m",
             mentions=(MentionSpan("m", true_entity=None), MentionSpan("m", true_entity=5)),
         )
         report = mention_and_tweet_accuracy([tweet], {1: [99, 5]})

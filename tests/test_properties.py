@@ -216,7 +216,7 @@ class TestMetricsProperties:
                     tweet_id=tweet_id,
                     user=0,
                     timestamp=float(tweet_id),
-                    text="",
+                    text="m",
                     mentions=tuple(MentionSpan("m", true_entity=t) for t in truths),
                 )
             )
@@ -240,7 +240,7 @@ class TestMetricsProperties:
                     tweet_id=tweet_id,
                     user=0,
                     timestamp=0.0,
-                    text="",
+                    text="m",
                     mentions=tuple(MentionSpan("m", true_entity=t) for t in truths),
                 )
             )

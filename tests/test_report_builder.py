@@ -77,9 +77,9 @@ class TestCliReport:
         assert out.exists()
         assert "report written" in capsys.readouterr().out
 
-    def test_cli_fails_without_results(self, tmp_path, capsys):
+    def test_cli_fails_without_results(self, tmp_path, caplog):
         from repro.cli import main
 
         code = main(["report", "--results", str(tmp_path / "none")])
         assert code == 1
-        assert "no result tables" in capsys.readouterr().out
+        assert "no result tables" in caplog.text

@@ -21,7 +21,7 @@ def make_dataset(n, correct_a_rate, correct_b_rate, rng):
         truth = tweet_id % 5
         tweets.append(
             Tweet(
-                tweet_id=tweet_id, user=0, timestamp=float(tweet_id), text="",
+                tweet_id=tweet_id, user=0, timestamp=float(tweet_id), text="m",
                 mentions=(MentionSpan("m", true_entity=truth),),
             )
         )
