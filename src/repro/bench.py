@@ -1,0 +1,325 @@
+"""``repro bench`` — the reproducible linking-performance baseline.
+
+One command builds a seeded synthetic world, times every expensive stage
+of the system, and writes a **schema-stable** ``BENCH_linking.json``:
+
+* ``build``    — reachability-index and propagation-network construction,
+  sequential and parallel;
+* ``reachability`` — the single-source micro-benchmark: the one-pass
+  followee-mask propagation vs. the per-target DAG-walk baseline it
+  replaced (the Fig. 5 inner loop), with an output-equality check;
+* ``single_mention`` — online ``link()`` latency percentiles plus the
+  per-stage breakdown from :mod:`repro.perf`;
+* ``batch``    — sharded batch-linking throughput per worker count, with
+  speedups against the one-worker run measured on the same machine;
+* ``perf``     — the counter/timer snapshot (cache hit rates, BFS counts).
+
+The workload is fully determined by ``seed``/``smoke``, so successive PRs
+can diff numbers against this baseline on equal hardware.  Wall-clock
+values are measurements, not constants: the schema validator checks shape
+and types, never magnitudes.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro import parallelism
+from repro.config import LinkerConfig
+from repro.core.batch import LinkRequest
+from repro.core.parallel import ParallelBatchLinker
+from repro.core.recency import RecencyPropagationNetwork
+from repro.eval.context import build_experiment
+from repro.graph.reachability import (
+    weighted_reachability_from,
+    weighted_reachability_from_per_target,
+)
+from repro.graph.transitive_closure import (
+    build_transitive_closure_incremental,
+    build_transitive_closure_parallel,
+)
+from repro.graph.two_hop import build_two_hop_cover
+from repro.kb.builder import KBProfile
+from repro.log import get_logger
+from repro.perf import PERF, percentile
+from repro.stream.generator import StreamProfile, SyntheticWorld
+from repro.stream.profiles import quick_profiles
+
+_log = get_logger(__name__)
+
+SCHEMA_VERSION = 1
+
+#: section -> required keys; the CI smoke job and the tests validate every
+#: emitted document against this shape.
+_REQUIRED_SECTIONS: Dict[str, Tuple[str, ...]] = {
+    "meta": ("schema_version", "tool", "seed", "smoke", "workers_measured"),
+    "environment": ("python", "platform", "cpu_count", "start_method"),
+    "world": ("users", "tweets", "entities", "graph_edges", "test_mentions"),
+    "build": (
+        "transitive_closure_s",
+        "transitive_closure_parallel_s",
+        "two_hop_s",
+        "two_hop_parallel_s",
+        "propagation_network_s",
+        "closure_nonzero_entries",
+        "two_hop_label_entries",
+    ),
+    "reachability": (
+        "sources",
+        "per_target_s",
+        "one_pass_s",
+        "speedup",
+        "outputs_identical",
+    ),
+    "single_mention": ("mentions", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "stages"),
+    "batch": ("requests", "results"),
+    "perf": ("counters", "cache_hit_rates", "timers"),
+}
+
+_BATCH_RESULT_KEYS = ("workers", "seconds", "throughput_rps", "speedup_vs_1")
+
+
+def validate_bench_document(doc: object) -> List[str]:
+    """Schema check; returns a list of problems (empty when valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    for section, keys in _REQUIRED_SECTIONS.items():
+        body = doc.get(section)
+        if not isinstance(body, dict):
+            problems.append(f"missing or non-object section {section!r}")
+            continue
+        for key in keys:
+            if key not in body:
+                problems.append(f"{section}.{key} missing")
+    meta = doc.get("meta")
+    if isinstance(meta, dict) and meta.get("schema_version") != SCHEMA_VERSION:
+        problems.append(
+            f"meta.schema_version is {meta.get('schema_version')!r}, "
+            f"expected {SCHEMA_VERSION}"
+        )
+    batch = doc.get("batch")
+    if isinstance(batch, dict):
+        results = batch.get("results")
+        if not isinstance(results, list) or not results:
+            problems.append("batch.results must be a non-empty list")
+        else:
+            for index, row in enumerate(results):
+                if not isinstance(row, dict):
+                    problems.append(f"batch.results[{index}] is not an object")
+                    continue
+                for key in _BATCH_RESULT_KEYS:
+                    if key not in row:
+                        problems.append(f"batch.results[{index}].{key} missing")
+    return problems
+
+
+# ---------------------------------------------------------------------- #
+# workload assembly
+# ---------------------------------------------------------------------- #
+def _bench_world(seed: int, smoke: bool) -> SyntheticWorld:
+    if smoke:
+        kb_profile, stream_profile = quick_profiles(seed)
+        return SyntheticWorld.generate(
+            kb_profile=kb_profile, stream_profile=stream_profile
+        )
+    return SyntheticWorld.generate(
+        kb_profile=KBProfile(seed=seed),
+        stream_profile=StreamProfile(seed=seed),
+    )
+
+
+def _reachability_bench(world: SyntheticWorld, max_hops: int, smoke: bool) -> Dict:
+    graph = world.graph
+    count = 20 if smoke else 80
+    # the busiest sources are the expensive (and the realistic) ones: the
+    # linker queries reachability *from* active users
+    sources = sorted(
+        graph.nodes(), key=graph.out_degree, reverse=True
+    )[:count]
+    start = time.perf_counter()
+    baseline = [
+        weighted_reachability_from_per_target(graph, s, max_hops) for s in sources
+    ]
+    per_target_s = time.perf_counter() - start
+    start = time.perf_counter()
+    one_pass = [weighted_reachability_from(graph, s, max_hops) for s in sources]
+    one_pass_s = time.perf_counter() - start
+    identical = all(
+        set(a) == set(b)
+        and all(abs(a[t] - b[t]) < 1e-12 for t in a)
+        for a, b in zip(baseline, one_pass)
+    )
+    return {
+        "sources": len(sources),
+        "per_target_s": round(per_target_s, 6),
+        "one_pass_s": round(one_pass_s, 6),
+        "speedup": round(per_target_s / one_pass_s, 3) if one_pass_s > 0 else 0.0,
+        "outputs_identical": identical,
+    }
+
+
+def _single_mention_bench(linker, requests: Sequence[LinkRequest]) -> Dict:
+    latencies: List[float] = []
+    for request in requests:
+        start = time.perf_counter()
+        linker.link(request.surface, request.user, request.now)
+        latencies.append(time.perf_counter() - start)
+    stages = {
+        name: {k: round(v, 9) for k, v in PERF.timer_stats(name).items()}
+        for name in (
+            "link.candidates",
+            "link.interest",
+            "link.recency",
+            "link.popularity",
+            "link.combine",
+        )
+    }
+    return {
+        "mentions": len(latencies),
+        "mean_ms": round(sum(latencies) / len(latencies) * 1e3, 6) if latencies else 0.0,
+        "p50_ms": round(percentile(latencies, 50.0) * 1e3, 6),
+        "p95_ms": round(percentile(latencies, 95.0) * 1e3, 6),
+        "p99_ms": round(percentile(latencies, 99.0) * 1e3, 6),
+        "stages": stages,
+    }
+
+
+def _batch_bench(
+    linker, requests: Sequence[LinkRequest], workers_list: Sequence[int]
+) -> Dict:
+    results: List[Dict] = []
+    base_seconds: Optional[float] = None
+    for workers in workers_list:
+        with ParallelBatchLinker(linker, workers=workers) as parallel:
+            # warm-up pass pays fork + per-worker cache warm-up once, the
+            # measured pass shows steady-state throughput (the streaming
+            # regime the batch path exists for)
+            parallel.link_batch(requests[: max(1, len(requests) // 10)])
+            start = time.perf_counter()
+            parallel.link_batch(requests)
+            seconds = time.perf_counter() - start
+        if workers == 1:
+            base_seconds = seconds
+        results.append(
+            {
+                "workers": workers,
+                "seconds": round(seconds, 6),
+                "throughput_rps": round(len(requests) / seconds, 3)
+                if seconds > 0
+                else 0.0,
+                "speedup_vs_1": round(base_seconds / seconds, 3)
+                if base_seconds and seconds > 0
+                else 1.0,
+            }
+        )
+    return {"requests": len(requests), "results": results}
+
+
+# ---------------------------------------------------------------------- #
+# entry point
+# ---------------------------------------------------------------------- #
+def run_bench(
+    seed: int = 11,
+    smoke: bool = False,
+    workers_list: Optional[Sequence[int]] = None,
+    out: Optional[str] = "BENCH_linking.json",
+) -> Dict:
+    """Run the full benchmark; returns (and optionally writes) the document."""
+    if workers_list is None:
+        workers_list = (1, 2) if smoke else (1, 2, 4)
+    if 1 not in workers_list:
+        raise ValueError("workers_list must include 1 (the speedup baseline)")
+    PERF.reset()
+    PERF.enable()
+    try:
+        world = _bench_world(seed, smoke)
+        context = build_experiment(world=world, complement_method="truth")
+        config: LinkerConfig = context.config
+        graph = world.graph
+
+        build: Dict[str, object] = {}
+        start = time.perf_counter()
+        closure = build_transitive_closure_incremental(
+            graph, max_hops=config.max_hops
+        )
+        build["transitive_closure_s"] = round(time.perf_counter() - start, 6)
+        parallel_workers = max(workers_list)
+        start = time.perf_counter()
+        build_transitive_closure_parallel(
+            graph, max_hops=config.max_hops, workers=parallel_workers
+        )
+        build["transitive_closure_parallel_s"] = round(
+            time.perf_counter() - start, 6
+        )
+        start = time.perf_counter()
+        cover = build_two_hop_cover(graph, max_hops=config.max_hops)
+        build["two_hop_s"] = round(time.perf_counter() - start, 6)
+        start = time.perf_counter()
+        build_two_hop_cover(graph, max_hops=config.max_hops, workers=parallel_workers)
+        build["two_hop_parallel_s"] = round(time.perf_counter() - start, 6)
+        start = time.perf_counter()
+        RecencyPropagationNetwork(
+            world.kb,
+            relatedness_threshold=config.relatedness_threshold,
+            propagation_lambda=config.propagation_lambda,
+            workers=parallel_workers,
+        )
+        build["propagation_network_s"] = round(time.perf_counter() - start, 6)
+        build["closure_nonzero_entries"] = closure.nonzero_entries()
+        build["two_hop_label_entries"] = cover.num_label_entries()
+
+        reachability = _reachability_bench(world, config.max_hops, smoke)
+
+        linker = context.social_temporal()._linker
+        requests = [
+            LinkRequest(surface=m.surface, user=t.user, now=t.timestamp)
+            for t in context.test_dataset.tweets
+            for m in t.mentions
+        ]
+        if smoke:
+            requests = requests[:200]
+        single = _single_mention_bench(linker, requests[: 100 if smoke else 400])
+        batch = _batch_bench(linker, requests, workers_list)
+
+        document = {
+            "meta": {
+                "schema_version": SCHEMA_VERSION,
+                "tool": "repro bench",
+                "seed": seed,
+                "smoke": smoke,
+                "workers_measured": list(workers_list),
+            },
+            "environment": {
+                "python": platform.python_version(),
+                "platform": platform.system().lower(),
+                "cpu_count": parallelism.resolve_workers(None),
+                "start_method": parallelism.start_method(),
+            },
+            "world": {
+                "users": world.num_users,
+                "tweets": len(world.tweets),
+                "entities": world.kb.num_entities,
+                "graph_edges": graph.num_edges,
+                "test_mentions": len(requests),
+            },
+            "build": build,
+            "reachability": reachability,
+            "single_mention": single,
+            "batch": batch,
+            "perf": PERF.snapshot(),
+        }
+    finally:
+        PERF.disable()
+    problems = validate_bench_document(document)
+    if problems:  # pragma: no cover - guards future schema drift
+        raise AssertionError(f"bench emitted an invalid document: {problems}")
+    if out:
+        with open(out, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        _log.info("benchmark written to %s", out)
+    return document

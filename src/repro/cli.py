@@ -8,11 +8,13 @@ Subcommands::
     repro link      --world world.json.gz --surface jordan --user 7 --day 90
     repro search    --world world.json.gz --query "jordan dunk" --user 7
     repro stream    --world world.json.gz [--checkpoint ckpt.json --resume]
+    repro bench     [--smoke --workers 1 2 4 --out BENCH_linking.json]
 
 ``generate`` builds and persists a synthetic world; the other commands
 load one and run the corresponding piece of the pipeline.  ``stream``
 replays the test stream through the resilient online path (validation,
-reordering, degradation, checkpointing).  Primary output is plain
+reordering, degradation, checkpointing); ``bench`` measures the build /
+single-mention / batch-throughput baseline.  Primary output is plain
 aligned tables on stdout (``repro.eval.reporting``); diagnostics go to
 the ``repro`` logger on stderr (``--log-level``).
 """
@@ -72,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
     evaluate.add_argument("--threshold", type=int, default=10)
     evaluate.add_argument(
         "--complement", choices=("collective", "truth"), default="collective"
+    )
+    evaluate.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for the social-temporal replay "
+        "(predictions are identical at any count)",
     )
 
     link = commands.add_parser("link", help="link one mention")
@@ -137,6 +144,29 @@ def build_parser() -> argparse.ArgumentParser:
     stream.add_argument(
         "--fault-seed", type=int, default=0, help="seed of the fault schedule"
     )
+    stream.add_argument(
+        "--workers", type=int, default=1,
+        help="worker processes for linking; worker snapshots are refreshed "
+        "at --checkpoint-every cadence, so confirmed links reach the "
+        "workers one refresh late",
+    )
+
+    bench = commands.add_parser(
+        "bench", help="measure the linking performance baseline"
+    )
+    bench.add_argument(
+        "--out", default="BENCH_linking.json",
+        help="output document path (schema-stable JSON)",
+    )
+    bench.add_argument("--seed", type=int, default=11)
+    bench.add_argument(
+        "--smoke", action="store_true",
+        help="small world and short request list (the CI smoke job)",
+    )
+    bench.add_argument(
+        "--workers", type=int, nargs="+", default=None,
+        help="worker counts to measure, e.g. --workers 1 2 4 (must include 1)",
+    )
     return parser
 
 
@@ -183,7 +213,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
     )
     selected = METHODS if args.method == "all" else (args.method,)
     adapters = {
-        "ours": context.social_temporal,
+        "ours": lambda: context.social_temporal(workers=args.workers),
         "onthefly": context.onthefly,
         "collective": context.collective,
     }
@@ -285,10 +315,16 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     :class:`~repro.stream.ingest.ResilientIngestor`, per-mention deadline
     budgets and circuit-broken reachability in the linker, and periodic
     complemented-KB checkpoints for crash recovery.
+
+    With ``--workers N`` released tweets are linked through the sharded
+    parallel batch path.  Worker snapshots are refreshed at checkpoint
+    cadence: links confirmed since the last refresh influence scores one
+    refresh late — the documented staleness trade of the pool design.
     """
     import dataclasses as _dc
 
     from repro.core.linker import SocialTemporalLinker
+    from repro.core.parallel import ParallelBatchLinker
     from repro.kb.checkpoint import load_checkpoint, restore, save_checkpoint, snapshot
     from repro.resilience.breaker import CircuitBreaker
     from repro.stream.ingest import ResilientIngestor, TweetValidator
@@ -339,34 +375,55 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     # tweets still sitting in the reordering buffer at checkpoint time must
     # be re-admitted on recovery, or their links would be lost.
     applied = set(seen_ids)
+    parallel = (
+        ParallelBatchLinker(linker, workers=args.workers)
+        if args.workers > 1
+        else None
+    )
+
+    def _apply(tweet, results) -> None:
+        nonlocal degraded, confirmed
+        for result in results:
+            degraded += int(result.degraded)
+            if result.best is not None:
+                linker.confirm_link(
+                    result.best.entity_id, tweet.user, tweet.timestamp,
+                    tweet.tweet_id,
+                )
+                confirmed += 1
+        applied.add(tweet.tweet_id)
 
     def _consume(released) -> None:
-        nonlocal degraded, confirmed
+        if parallel is not None:
+            released = list(released)
+            grouped = parallel.link_tweets(released)
+            for tweet in released:
+                _apply(tweet, grouped[tweet.tweet_id])
+            return
         for tweet in released:
-            for outcome in linker.link_tweet(tweet):
-                result = outcome.result
-                degraded += int(result.degraded)
-                if result.best is not None:
-                    linker.confirm_link(
-                        result.best.entity_id, tweet.user, tweet.timestamp,
-                        tweet.tweet_id,
-                    )
-                    confirmed += 1
-            applied.add(tweet.tweet_id)
+            _apply(tweet, [o.result for o in linker.link_tweet(tweet)])
 
-    for index, tweet in enumerate(tweets, start=1):
-        _consume(ingestor.push(tweet))
-        if args.checkpoint and index % args.checkpoint_every == 0:
+    try:
+        for index, tweet in enumerate(tweets, start=1):
+            _consume(ingestor.push(tweet))
+            if index % args.checkpoint_every == 0:
+                if args.checkpoint:
+                    save_checkpoint(
+                        snapshot(ckb, ingestor.watermark, applied),
+                        args.checkpoint,
+                    )
+                    checkpoints += 1
+                if parallel is not None:
+                    parallel.refresh()
+        _consume(ingestor.flush())
+        if args.checkpoint:
             save_checkpoint(
                 snapshot(ckb, ingestor.watermark, applied), args.checkpoint
             )
             checkpoints += 1
-    _consume(ingestor.flush())
-    if args.checkpoint:
-        save_checkpoint(
-            snapshot(ckb, ingestor.watermark, applied), args.checkpoint
-        )
-        checkpoints += 1
+    finally:
+        if parallel is not None:
+            parallel.close()
 
     stats = ingestor.stats
     rows = [
@@ -384,6 +441,34 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import run_bench
+
+    document = run_bench(
+        seed=args.seed, smoke=args.smoke, workers_list=args.workers, out=args.out
+    )
+    print(
+        format_table(
+            document["batch"]["results"],
+            title=f"batch linking throughput "
+            f"({document['batch']['requests']} requests)",
+        )
+    )
+    reach = document["reachability"]
+    check = "identical" if reach["outputs_identical"] else "MISMATCH"
+    print(
+        f"one-pass reachability: {reach['speedup']}x vs per-target "
+        f"({reach['sources']} sources, outputs {check})"
+    )
+    single = document["single_mention"]
+    print(
+        f"single mention: p50 {single['p50_ms']:.3f} ms, "
+        f"p99 {single['p99_ms']:.3f} ms over {single['mentions']} mentions"
+    )
+    print(f"benchmark written to {args.out}")
+    return 0
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "datasets": _cmd_datasets,
@@ -393,6 +478,7 @@ _HANDLERS = {
     "report": _cmd_report,
     "validate": _cmd_validate,
     "stream": _cmd_stream,
+    "bench": _cmd_bench,
 }
 
 

@@ -80,6 +80,10 @@ class LinkerConfig:
     #: exceeds the budget degrades to ``β·S_r + γ·S_p`` scoring (the
     #: Appendix-D no-interest bound) instead of blocking the stream.
     deadline_ms: Optional[float] = None
+    #: Upper bound on the linker's influential-user cache, LRU-evicted.
+    #: A long stream of distinct (entity, candidate-set) keys would
+    #: otherwise grow the cache without limit.
+    influential_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         weights = (self.alpha, self.beta, self.gamma)
@@ -107,6 +111,8 @@ class LinkerConfig:
             raise ValueError("top_k must be at least 1")
         if self.deadline_ms is not None and self.deadline_ms <= 0:
             raise ValueError("deadline_ms must be positive when set")
+        if self.influential_cache_size < 1:
+            raise ValueError("influential_cache_size must be at least 1")
 
     def with_weights(self, alpha: float, beta: float, gamma: float) -> "LinkerConfig":
         """Return a copy with the three feature weights replaced."""

@@ -7,6 +7,7 @@ ablation experiments and reuse.
 
 from repro.core.batch import LinkRequest, MicroBatchLinker
 from repro.core.candidates import CandidateGenerator
+from repro.core.parallel import LinkerRecipe, ParallelBatchLinker
 from repro.core.explain import LinkExplanation, explain_link
 from repro.core.feedback import FeedbackOutcome, InteractiveLinkingSession
 from repro.core.pipeline import AnnotatedText, TextLinkingPipeline
@@ -25,7 +26,9 @@ __all__ = [
     "LinkExplanation",
     "LinkRequest",
     "LinkResult",
+    "LinkerRecipe",
     "MicroBatchLinker",
+    "ParallelBatchLinker",
     "TextLinkingPipeline",
     "explain_link",
     "MentionResult",

@@ -19,11 +19,16 @@ another cache dimension.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, List, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.linker import LinkResult, SocialTemporalLinker
 from repro.core.popularity import popularity_scores
 from repro.core.scoring import combine_scores
+from repro.errors import (
+    CircuitOpenError,
+    DeadlineExceededError,
+    IndexUnavailableError,
+)
 from repro.stream.tweet import Tweet
 
 
@@ -96,13 +101,31 @@ class MicroBatchLinker:
                 recency = linker._recency_scores(candidates, bucketed)
                 recency_cache[recency_key] = recency
 
+            # Same degradation ladder as the single-mention path: a faulted
+            # interest computation falls back to the no-interest bound
+            # β·S_r + γ·S_p instead of letting the error escape the batch.
+            # Degraded scores are NOT cached — the next request for the
+            # same (user, candidates) retries, exactly like sequential
+            # linking does once a deadline resets or a breaker half-opens.
+            degradation: Optional[str] = None
             interest_key = (request.user, candidates)
             interest = interest_cache.get(interest_key)
             if interest is None:
-                interest = linker._interest_scores(
-                    request.user, candidates, linker._guarded_provider()
-                )
-                interest_cache[interest_key] = interest
+                try:
+                    interest = linker._interest_scores(
+                        request.user, candidates, linker._guarded_provider()
+                    )
+                except DeadlineExceededError:
+                    interest = {}
+                    degradation = "deadline_exceeded"
+                except CircuitOpenError:
+                    interest = {}
+                    degradation = "circuit_open"
+                except IndexUnavailableError:
+                    interest = {}
+                    degradation = "index_unavailable"
+                if degradation is None:
+                    interest_cache[interest_key] = interest
 
             ranked = combine_scores(candidates, interest, recency, popularity, config)
             results.append(
@@ -111,6 +134,7 @@ class MicroBatchLinker:
                     user=request.user,
                     timestamp=request.now,
                     ranked=tuple(ranked),
+                    degradation=degradation,
                 )
             )
         return results

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import dataclasses
 import time
+from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.config import DEFAULT_CONFIG, LinkerConfig
@@ -34,6 +35,7 @@ from repro.errors import (
     IndexUnavailableError,
 )
 from repro.log import get_logger
+from repro.perf import PERF
 from repro.resilience.breaker import CircuitBreaker
 from repro.core.popularity import popularity_scores
 from repro.core.recency import (
@@ -187,8 +189,10 @@ class SocialTemporalLinker:
                 propagation_lambda=config.propagation_lambda,
             )
         self._propagation = propagation_network
-        # (entity, candidate set) -> (entity version, influential users)
-        self._influential_cache: Dict[Tuple[int, Tuple[int, ...]], Tuple[int, List[int]]] = {}
+        # (entity, candidate set) -> (entity version, influential users);
+        # LRU-bounded at config.influential_cache_size so a long stream of
+        # distinct keys cannot grow it without limit.
+        self._influential_cache: "OrderedDict[Tuple[int, Tuple[int, ...]], Tuple[int, List[int]]]" = OrderedDict()
         self._entity_versions: Dict[int, int] = {}
 
     # ------------------------------------------------------------------ #
@@ -219,12 +223,16 @@ class SocialTemporalLinker:
         paper's own Appendix-D no-interest bound — and the result carries
         the degradation reason instead of an exception.
         """
-        candidates = self._candidates.candidates(surface)
+        with PERF.time_block("link.candidates"):
+            candidates = self._candidates.candidates(surface)
         if not candidates:
             return LinkResult(surface=surface, user=user, timestamp=now, ranked=())
         degradation: Optional[str] = None
         try:
-            interest = self._interest_scores(user, candidates, self._guarded_provider())
+            with PERF.time_block("link.interest"):
+                interest = self._interest_scores(
+                    user, candidates, self._guarded_provider()
+                )
         except DeadlineExceededError:
             interest = {}
             degradation = "deadline_exceeded"
@@ -238,9 +246,14 @@ class SocialTemporalLinker:
             _log.warning(
                 "degraded link for %r (user %d): %s", surface, user, degradation
             )
-        recency = self._recency_scores(candidates, now)
-        popularity = popularity_scores(self._ckb, candidates)
-        ranked = combine_scores(candidates, interest, recency, popularity, self._config)
+        with PERF.time_block("link.recency"):
+            recency = self._recency_scores(candidates, now)
+        with PERF.time_block("link.popularity"):
+            popularity = popularity_scores(self._ckb, candidates)
+        with PERF.time_block("link.combine"):
+            ranked = combine_scores(
+                candidates, interest, recency, popularity, self._config
+            )
         return LinkResult(
             surface=surface,
             user=user,
@@ -321,7 +334,10 @@ class SocialTemporalLinker:
         key = (entity_id, key_suffix)
         cached = self._influential_cache.get(key)
         if cached is not None and cached[0] == version:
+            self._influential_cache.move_to_end(key)
+            PERF.incr("influential_cache.hit")
             return cached[1]
+        PERF.incr("influential_cache.miss")
         influential = top_influential_users(
             self._ckb,
             entity_id,
@@ -330,6 +346,10 @@ class SocialTemporalLinker:
             method=self._config.influence_method,
         )
         self._influential_cache[key] = (version, influential)
+        self._influential_cache.move_to_end(key)
+        while len(self._influential_cache) > self._config.influential_cache_size:
+            self._influential_cache.popitem(last=False)
+            PERF.incr("influential_cache.evictions")
         return influential
 
     def _recency_scores(

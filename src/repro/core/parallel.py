@@ -1,0 +1,196 @@
+"""Sharded parallel batch linking (Sec. 5.2.2's "embarrassingly parallel").
+
+Every mention is linked independently — no joint inference — so a batch of
+:class:`~repro.core.batch.LinkRequest`\\ s can be partitioned across worker
+processes with no coordination at all.  The shard key is the **surface
+form**: all requests for one surface land on one worker, which keeps the
+per-surface work sharing of :class:`~repro.core.batch.MicroBatchLinker`
+(candidate set, popularity, bucketed recency computed once) intact inside
+each shard.  The key is hashed with ``crc32`` — stable across processes
+and runs, unlike the seed-randomized builtin ``hash``.
+
+Determinism: a request's result depends only on the linker state, never on
+which worker scored it or in what order, so the output is bit-identical to
+sequential :meth:`SocialTemporalLinker.link` for ``recency_bucket = 0``
+(the parity suite in ``tests/test_parallel.py`` asserts this per worker
+count), and results are always reassembled into input order.
+
+Worker lifecycle: the pool is created lazily on the first parallel call
+and **snapshots the linker at that moment** (``fork`` inherits it
+zero-copy; ``spawn`` platforms pickle it, or rebuild it from a
+:class:`LinkerRecipe` when the wired linker is not picklable).  Parent-side
+mutations — :meth:`SocialTemporalLinker.confirm_link`, KB pruning — are
+invisible to workers until :meth:`ParallelBatchLinker.refresh` tears the
+pool down; the streaming CLI refreshes at checkpoint cadence.  With
+``workers = 1`` everything runs in-process through a plain
+:class:`MicroBatchLinker` and no pool ever exists.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import parallelism
+from repro.core.batch import LinkRequest, MicroBatchLinker
+from repro.core.linker import LinkResult, SocialTemporalLinker
+from repro.perf import PERF
+from repro.stream.tweet import Tweet
+
+__all__ = ["LinkerRecipe", "ParallelBatchLinker", "shard_of"]
+
+
+def shard_of(surface: str, num_shards: int) -> int:
+    """Deterministic shard of a surface form (stable across processes)."""
+    return zlib.crc32(surface.encode("utf-8")) % num_shards
+
+
+@dataclasses.dataclass(frozen=True)
+class LinkerRecipe:
+    """Picklable instructions for building a linker inside a worker.
+
+    ``factory`` must be an importable module-level callable returning a
+    fully wired :class:`SocialTemporalLinker`.  Only needed on platforms
+    without ``fork`` *and* with a linker holding unpicklable state (e.g. a
+    live circuit breaker's lock); everywhere else the linker instance
+    itself travels to the workers.
+    """
+
+    factory: Callable[..., SocialTemporalLinker]
+    args: Tuple = ()
+    kwargs: Tuple[Tuple[str, object], ...] = ()
+
+    def build(self) -> SocialTemporalLinker:
+        return self.factory(*self.args, **dict(self.kwargs))
+
+
+@dataclasses.dataclass(frozen=True)
+class _WorkerSpec:
+    """What the pool initializer installs in each worker."""
+
+    linker: Optional[SocialTemporalLinker]
+    recipe: Optional[LinkerRecipe]
+    recency_bucket: float
+
+    def batcher(self) -> MicroBatchLinker:
+        linker = self.linker if self.linker is not None else self.recipe.build()
+        return MicroBatchLinker(linker, recency_bucket=self.recency_bucket)
+
+
+#: Per-worker-process micro-batch linker, built once from the installed
+#: spec and kept so its work-sharing caches survive across map calls.
+_WORKER_BATCHER: Optional[MicroBatchLinker] = None
+
+
+def _link_shard(
+    shard: Tuple[Tuple[int, ...], Tuple[LinkRequest, ...]]
+) -> Tuple[Tuple[int, ...], List[LinkResult]]:
+    global _WORKER_BATCHER
+    if _WORKER_BATCHER is None:
+        _WORKER_BATCHER = parallelism.payload().batcher()
+    indices, requests = shard
+    return indices, _WORKER_BATCHER.link_batch(requests)
+
+
+class ParallelBatchLinker:
+    """Partition link requests by surface across a process pool."""
+
+    def __init__(
+        self,
+        linker: Optional[SocialTemporalLinker] = None,
+        workers: Optional[int] = None,
+        recency_bucket: float = 0.0,
+        recipe: Optional[LinkerRecipe] = None,
+    ) -> None:
+        """``workers=None`` uses every core the process may schedule on;
+        ``workers=1`` is the exact in-process fallback.  Exactly one of
+        ``linker`` / ``recipe`` may be omitted."""
+        if (linker is None) and (recipe is None):
+            raise ValueError("either a linker or a recipe is required")
+        if recency_bucket < 0:
+            raise ValueError("recency_bucket must be non-negative")
+        self._spec = _WorkerSpec(
+            linker=linker, recipe=recipe, recency_bucket=recency_bucket
+        )
+        self.workers = parallelism.resolve_workers(workers)
+        self._pool: Optional[parallelism.WorkerPool] = None
+        self._local: Optional[MicroBatchLinker] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def refresh(self) -> None:
+        """Tear down the worker snapshot; the next batch re-forks against
+        the linker's *current* state (call after confirm_link/prune)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        self._local = None
+
+    def close(self) -> None:
+        """Release worker processes (idempotent)."""
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+
+    def __enter__(self) -> "ParallelBatchLinker":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # linking
+    # ------------------------------------------------------------------ #
+    def link_batch(self, requests: Sequence[LinkRequest]) -> List[LinkResult]:
+        """Link a batch; output order matches input order exactly."""
+        if not requests:
+            return []
+        if self.workers <= 1:
+            if self._local is None:
+                self._local = self._spec.batcher()
+            return self._local.link_batch(requests)
+        shards = self._partition(requests)
+        PERF.incr("parallel.batches")
+        PERF.incr("parallel.requests", len(requests))
+        if self._pool is None:
+            self._pool = parallelism.WorkerPool(self._spec, self.workers)
+        results: List[Optional[LinkResult]] = [None] * len(requests)
+        for indices, linked in self._pool.map(_link_shard, shards):
+            for index, result in zip(indices, linked):
+                results[index] = result
+        return results  # type: ignore[return-value] — every index filled
+
+    def link_tweets(self, tweets: Sequence[Tweet]) -> Dict[int, List[LinkResult]]:
+        """Batch-link every mention of a tweet window, grouped per tweet."""
+        requests: List[LinkRequest] = []
+        layout: List[int] = []
+        for tweet in tweets:
+            for mention in tweet.mentions:
+                requests.append(
+                    LinkRequest(
+                        surface=mention.surface, user=tweet.user, now=tweet.timestamp
+                    )
+                )
+                layout.append(tweet.tweet_id)
+        flat = self.link_batch(requests)
+        grouped: Dict[int, List[LinkResult]] = {t.tweet_id: [] for t in tweets}
+        for tweet_id, result in zip(layout, flat):
+            grouped[tweet_id].append(result)
+        return grouped
+
+    # ------------------------------------------------------------------ #
+    # partitioning
+    # ------------------------------------------------------------------ #
+    def _partition(
+        self, requests: Sequence[LinkRequest]
+    ) -> List[Tuple[Tuple[int, ...], Tuple[LinkRequest, ...]]]:
+        buckets: List[List[int]] = [[] for _ in range(self.workers)]
+        for index, request in enumerate(requests):
+            buckets[shard_of(request.surface, self.workers)].append(index)
+        return [
+            (tuple(bucket), tuple(requests[i] for i in bucket))
+            for bucket in buckets
+            if bucket
+        ]

@@ -27,6 +27,7 @@ from repro.graph.transitive_closure import (
     TransitiveClosure,
     build_transitive_closure_incremental,
     build_transitive_closure_naive,
+    build_transitive_closure_parallel,
 )
 from repro.graph.two_hop import TwoHopCover, build_two_hop_cover
 
@@ -40,6 +41,7 @@ __all__ = [
     "TwoHopCover",
     "build_transitive_closure_incremental",
     "build_transitive_closure_naive",
+    "build_transitive_closure_parallel",
     "build_two_hop_cover",
     "random_digraph",
     "topical_social_graph",

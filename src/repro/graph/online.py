@@ -13,6 +13,7 @@ from typing import Dict
 from repro.config import DEFAULT_MAX_HOPS
 from repro.graph.digraph import DiGraph
 from repro.graph.reachability import weighted_reachability_from
+from repro.perf import PERF
 
 
 class OnlineReachability:
@@ -31,11 +32,13 @@ class OnlineReachability:
     def reachability(self, source: int, target: int) -> float:
         row = self._cache.get(source)
         if row is None:
+            PERF.incr("online_bfs.miss")
             row = weighted_reachability_from(self._graph, source, self._max_hops)
             self._cache[source] = row
             if len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
         else:
+            PERF.incr("online_bfs.hit")
             self._cache.move_to_end(source)
         return row.get(target, 0.0)
 

@@ -1,0 +1,119 @@
+"""Process-pool plumbing shared by the parallel builders and linkers.
+
+Every parallel path in the library (sharded batch linking, per-source
+closure construction, batched 2-hop landmark BFS, WLM pair scoring) uses
+the same model:
+
+1. a single read-only **payload** (graph, linker, KB, ...) is installed in
+   each worker once, via the pool initializer;
+2. module-level worker functions read it back with :func:`payload` and map
+   over picklable shard descriptions;
+3. the parent reassembles results in a deterministic order.
+
+The ``fork`` start method is preferred where the platform offers it: the
+payload is inherited by the child address space for free, so nothing needs
+to be picklable and a multi-hundred-MB index costs no serialization.  On
+``spawn``-only platforms the payload is pickled through the initializer —
+all library payloads are plain-data object graphs, so this degrades in
+startup cost only, not in capability.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_PAYLOAD: Any = None
+
+
+def resolve_workers(workers: Optional[int]) -> int:
+    """Normalize a worker-count request: ``None``/``0`` mean "all cores"."""
+    if workers is not None and workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    if workers:
+        return workers
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def start_method() -> str:
+    """``fork`` where available (zero-copy payload), else ``spawn``."""
+    return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"
+
+
+def _install_payload(obj: Any) -> None:
+    global _PAYLOAD
+    _PAYLOAD = obj
+
+
+def payload() -> Any:
+    """The payload installed in this worker process."""
+    return _PAYLOAD
+
+
+class WorkerPool:
+    """A process pool whose workers share one read-only payload.
+
+    Workers see the payload as it was when the pool was created; parent
+    mutations after that point are invisible until :meth:`WorkerPool` is
+    rebuilt — the staleness contract every caller documents.
+    """
+
+    def __init__(self, obj: Any, workers: int) -> None:
+        if workers < 2:
+            raise ValueError("WorkerPool needs at least 2 workers; "
+                             "run in-process for workers=1")
+        self._context = multiprocessing.get_context(start_method())
+        self._pool = self._context.Pool(
+            processes=workers, initializer=_install_payload, initargs=(obj,)
+        )
+        self.workers = workers
+
+    def map(
+        self, fn: Callable[[T], R], items: Iterable[T], chunksize: int = 1
+    ) -> List[R]:
+        """Order-preserving parallel map."""
+        return self._pool.map(fn, items, chunksize)
+
+    def close(self) -> None:
+        self._pool.close()
+        self._pool.join()
+
+    def terminate(self) -> None:
+        self._pool.terminate()
+        self._pool.join()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def map_sharded(
+    obj: Any,
+    fn: Callable[[T], R],
+    shards: Sequence[T],
+    workers: int,
+) -> List[R]:
+    """Map ``fn`` over ``shards`` against payload ``obj``.
+
+    ``workers <= 1`` (or a single shard) runs in-process — same results,
+    no pool, no fork cost; the parallel paths all stay exercised by tests
+    through exactly this entry point.
+    """
+    if workers <= 1 or len(shards) <= 1:
+        previous = _PAYLOAD
+        _install_payload(obj)
+        try:
+            return [fn(shard) for shard in shards]
+        finally:
+            _install_payload(previous)
+    with WorkerPool(obj, min(workers, len(shards))) as pool:
+        return pool.map(fn, shards)

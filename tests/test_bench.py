@@ -1,0 +1,90 @@
+"""``repro bench``: schema validation and a smoke run of the full pipeline."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import SCHEMA_VERSION, run_bench, validate_bench_document
+
+
+@pytest.fixture(scope="module")
+def smoke_document(tmp_path_factory):
+    out = tmp_path_factory.mktemp("bench") / "BENCH_linking.json"
+    document = run_bench(seed=5, smoke=True, workers_list=(1,), out=str(out))
+    return document, out
+
+
+class TestSmokeRun:
+    def test_document_validates(self, smoke_document):
+        document, _ = smoke_document
+        assert validate_bench_document(document) == []
+
+    def test_written_file_round_trips(self, smoke_document):
+        _, out = smoke_document
+        with open(out, encoding="utf-8") as handle:
+            assert validate_bench_document(json.load(handle)) == []
+
+    def test_one_pass_outputs_identical(self, smoke_document):
+        document, _ = smoke_document
+        assert document["reachability"]["outputs_identical"] is True
+
+    def test_batch_rows_match_workers(self, smoke_document):
+        document, _ = smoke_document
+        rows = document["batch"]["results"]
+        assert [row["workers"] for row in rows] == [1]
+        assert rows[0]["speedup_vs_1"] == 1.0
+        assert rows[0]["throughput_rps"] > 0
+
+    def test_meta_records_inputs(self, smoke_document):
+        document, _ = smoke_document
+        assert document["meta"]["schema_version"] == SCHEMA_VERSION
+        assert document["meta"]["smoke"] is True
+        assert document["meta"]["seed"] == 5
+
+    def test_perf_section_populated(self, smoke_document):
+        """The instrumented hot paths actually reported into the snapshot."""
+        document, _ = smoke_document
+        counters = document["perf"]["counters"]
+        assert counters.get("graph.one_pass_bfs", 0) > 0
+
+    def test_requires_baseline_worker(self):
+        with pytest.raises(ValueError):
+            run_bench(smoke=True, workers_list=(2, 4), out=None)
+
+
+class TestValidator:
+    @pytest.fixture
+    def valid(self, smoke_document):
+        document, _ = smoke_document
+        return copy.deepcopy(document)
+
+    def test_non_object(self):
+        assert validate_bench_document([]) == ["document is not a JSON object"]
+
+    def test_missing_section(self, valid):
+        del valid["reachability"]
+        assert "missing or non-object section 'reachability'" in validate_bench_document(
+            valid
+        )
+
+    def test_missing_key(self, valid):
+        del valid["single_mention"]["p99_ms"]
+        assert "single_mention.p99_ms missing" in validate_bench_document(valid)
+
+    def test_wrong_schema_version(self, valid):
+        valid["meta"]["schema_version"] = SCHEMA_VERSION + 1
+        problems = validate_bench_document(valid)
+        assert any("schema_version" in p for p in problems)
+
+    def test_empty_batch_results(self, valid):
+        valid["batch"]["results"] = []
+        assert "batch.results must be a non-empty list" in validate_bench_document(
+            valid
+        )
+
+    def test_malformed_batch_row(self, valid):
+        del valid["batch"]["results"][0]["throughput_rps"]
+        assert "batch.results[0].throughput_rps missing" in validate_bench_document(
+            valid
+        )

@@ -123,3 +123,65 @@ class TestValidate:
         out = capsys.readouterr().out
         assert "homophily_lift" in out
         assert "activity_gini" in out
+
+
+class TestEvaluateParallel:
+    def test_workers_preserve_accuracy(self, world_file, capsys):
+        """evaluate --workers N reports the same accuracy as sequential."""
+
+        def accuracy_cells(argv):
+            assert main(argv) == 0
+            for line in capsys.readouterr().out.splitlines():
+                cells = line.split()
+                if cells and cells[0] == "ours":
+                    return cells[1:3]  # mention, tweet (ms/tweet may differ)
+            raise AssertionError("no 'ours' row in evaluate output")
+
+        base = [
+            "evaluate", "--world", world_file, "--method", "ours",
+            "--complement", "truth",
+        ]
+        assert accuracy_cells(base + ["--workers", "2"]) == accuracy_cells(base)
+
+
+class TestStreamParallel:
+    def test_parallel_stream_replays(self, world_file, capsys):
+        code = main(
+            [
+                "stream", "--world", world_file, "--limit", "40",
+                "--workers", "2", "--checkpoint-every", "20",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "resilient stream replay" in out
+        assert "confirmed_links" in out
+
+
+class TestBench:
+    def test_smoke_bench_writes_valid_document(self, tmp_path, capsys):
+        import json
+
+        from repro.bench import validate_bench_document
+
+        out = tmp_path / "BENCH_linking.json"
+        code = main(
+            [
+                "bench", "--smoke", "--seed", "5", "--workers", "1",
+                "--out", str(out),
+            ]
+        )
+        assert code == 0
+        with open(out, encoding="utf-8") as handle:
+            assert validate_bench_document(json.load(handle)) == []
+        stdout = capsys.readouterr().out
+        assert "one-pass reachability" in stdout
+        assert "benchmark written" in stdout
+
+    def test_rejects_workers_without_baseline(self, tmp_path):
+        out = tmp_path / "BENCH_linking.json"
+        code = main(
+            ["bench", "--smoke", "--workers", "2", "--out", str(out)]
+        )
+        assert code == 1  # ValueError -> clean diagnostic, not a traceback
+        assert not out.exists()

@@ -179,3 +179,47 @@ class TestFeedback:
             reachability=closure,
         )
         assert linker.link("jordan", user=0, now=100 * DAY).best.entity_id == 0
+
+
+class TestInfluentialCacheBound:
+    """The influential-user cache is LRU-bounded (config.influential_cache_size)."""
+
+    def _linker(self, tiny_ckb, social_graph, size):
+        config = LinkerConfig(
+            burst_threshold=2, influential_users=2, influential_cache_size=size
+        )
+        return SocialTemporalLinker(tiny_ckb, social_graph, config=config)
+
+    def test_cache_never_exceeds_bound(self, tiny_ckb, social_graph):
+        linker = self._linker(tiny_ckb, social_graph, size=2)
+        for day in (8, 9, 10):
+            linker.link("jordan", user=0, now=day * DAY)  # 3 keys per call
+            linker.link("nba", user=0, now=day * DAY)
+        assert len(linker._influential_cache) <= 2
+
+    def test_eviction_is_least_recently_used(self, tiny_ckb, social_graph):
+        linker = self._linker(tiny_ckb, social_graph, size=3)
+        linker.link("jordan", user=0, now=8 * DAY)  # keys for e0, e1, e2
+        assert set(linker._influential_cache) == {
+            (0, (0, 1, 2)), (1, (0, 1, 2)), (2, (0, 1, 2))
+        }
+        linker._influential_users(0, (0, 1, 2), (0, 1, 2))  # touch e0
+        linker.link("nba", user=0, now=8 * DAY)  # inserts e4, evicts LRU
+        assert (1, (0, 1, 2)) not in linker._influential_cache
+        assert (0, (0, 1, 2)) in linker._influential_cache
+        assert (4, (4,)) in linker._influential_cache
+        assert len(linker._influential_cache) == 3
+
+    def test_bounded_results_match_unbounded(self, tiny_ckb, social_graph):
+        bounded = self._linker(tiny_ckb, social_graph, size=1)
+        unbounded = self._linker(tiny_ckb, social_graph, size=4096)
+        for surface, user in (("jordan", 0), ("jordan", 5), ("nba", 0), ("jordan", 0)):
+            a = bounded.link(surface, user, now=8 * DAY)
+            b = unbounded.link(surface, user, now=8 * DAY)
+            assert a.candidates == b.candidates
+            for ca, cb in zip(a.ranked, b.ranked):
+                assert ca.score == pytest.approx(cb.score)
+
+    def test_invalid_bound_rejected(self):
+        with pytest.raises(ValueError):
+            LinkerConfig(influential_cache_size=0)

@@ -1,0 +1,175 @@
+"""Sharded parallel batch linker: parity with sequential, lifecycle."""
+
+import pytest
+
+from repro.config import DAY, LinkerConfig
+from repro.core.batch import LinkRequest, MicroBatchLinker
+from repro.core.linker import SocialTemporalLinker
+from repro.core.parallel import LinkerRecipe, ParallelBatchLinker, shard_of
+from repro.graph.digraph import DiGraph
+from repro.stream.tweet import MentionSpan, Tweet
+
+
+@pytest.fixture
+def linker(tiny_ckb):
+    graph = DiGraph(13)
+    graph.add_edge(0, 10)
+    graph.add_edge(5, 11)
+    return SocialTemporalLinker(
+        tiny_ckb, graph, config=LinkerConfig(burst_threshold=2, influential_users=2)
+    )
+
+
+def _requests():
+    return [
+        LinkRequest("jordan", user=0, now=8 * DAY),
+        LinkRequest("jordan", user=5, now=8 * DAY),
+        LinkRequest("nba", user=0, now=8 * DAY),
+        LinkRequest("jordan", user=0, now=2 * DAY),
+        LinkRequest("qqqqqq", user=0, now=0.0),
+    ]
+
+
+def _assert_same_results(actual, expected):
+    assert len(actual) == len(expected)
+    for a, b in zip(actual, expected):
+        assert (a.surface, a.user, a.timestamp) == (b.surface, b.user, b.timestamp)
+        assert a.candidates == b.candidates
+        assert a.degradation == b.degradation
+        for ca, cb in zip(a.ranked, b.ranked):
+            assert ca.entity_id == cb.entity_id
+            assert ca.score == cb.score
+
+
+class TestSharding:
+    def test_shard_stable_across_calls(self):
+        assert shard_of("jordan", 4) == shard_of("jordan", 4)
+
+    def test_shard_in_range(self):
+        for surface in ("jordan", "nba", "", "日本語"):
+            for n in (1, 2, 3, 7):
+                assert 0 <= shard_of(surface, n) < n
+
+    def test_partition_covers_every_index_once(self, linker):
+        parallel = ParallelBatchLinker(linker, workers=3)
+        shards = parallel._partition(_requests())
+        seen = sorted(i for indices, _ in shards for i in indices)
+        assert seen == list(range(len(_requests())))
+
+    def test_surface_affinity(self, linker):
+        """All requests of one surface land in exactly one shard."""
+        parallel = ParallelBatchLinker(linker, workers=3)
+        shards = parallel._partition(_requests())
+        owner = {}
+        for shard_index, (_, requests) in enumerate(shards):
+            for request in requests:
+                owner.setdefault(request.surface, shard_index)
+                assert owner[request.surface] == shard_index
+
+
+class TestParity:
+    def test_workers_1_matches_sequential(self, linker):
+        with ParallelBatchLinker(linker, workers=1) as parallel:
+            results = parallel.link_batch(_requests())
+        expected = [linker.link(r.surface, r.user, r.now) for r in _requests()]
+        _assert_same_results(results, expected)
+
+    def test_workers_3_matches_workers_1(self, linker):
+        with ParallelBatchLinker(linker, workers=1) as sequential:
+            expected = sequential.link_batch(_requests())
+        with ParallelBatchLinker(linker, workers=3) as parallel:
+            results = parallel.link_batch(_requests())
+        _assert_same_results(results, expected)
+
+    def test_world_scale_parity(self, small_context):
+        """On a real test stream, every worker count ranks identically."""
+        linker = small_context.social_temporal()._linker
+        requests = [
+            LinkRequest(surface=m.surface, user=t.user, now=t.timestamp)
+            for t in small_context.test_dataset.tweets[:80]
+            for m in t.mentions
+        ]
+        expected = MicroBatchLinker(linker).link_batch(requests)
+        with ParallelBatchLinker(linker, workers=2) as parallel:
+            results = parallel.link_batch(requests)
+        _assert_same_results(results, expected)
+
+    def test_output_order_preserved(self, linker):
+        with ParallelBatchLinker(linker, workers=2) as parallel:
+            results = parallel.link_batch(_requests())
+        assert [r.surface for r in results] == [r.surface for r in _requests()]
+        assert [r.user for r in results] == [r.user for r in _requests()]
+
+    def test_link_tweets_grouping(self, linker):
+        tweets = [
+            Tweet(
+                tweet_id=1, user=0, timestamp=8 * DAY, text="jordan nba",
+                mentions=(MentionSpan("jordan"), MentionSpan("nba")),
+            ),
+            Tweet(
+                tweet_id=2, user=5, timestamp=8 * DAY, text="jordan",
+                mentions=(MentionSpan("jordan"),),
+            ),
+            Tweet(tweet_id=3, user=6, timestamp=8 * DAY, text="hello", mentions=()),
+        ]
+        with ParallelBatchLinker(linker, workers=2) as parallel:
+            grouped = parallel.link_tweets(tweets)
+        assert len(grouped[1]) == 2
+        assert len(grouped[2]) == 1
+        assert grouped[3] == []
+        assert grouped[2][0].user == 5
+
+
+class TestLifecycle:
+    def test_empty_batch(self, linker):
+        with ParallelBatchLinker(linker, workers=2) as parallel:
+            assert parallel.link_batch([]) == []
+
+    def test_close_is_idempotent(self, linker):
+        parallel = ParallelBatchLinker(linker, workers=2)
+        parallel.link_batch(_requests())
+        parallel.close()
+        parallel.close()
+
+    def test_snapshot_stale_until_refresh(self, linker, tiny_ckb):
+        """Workers see the fork-time linker; refresh() re-snapshots it."""
+        request = [LinkRequest("jordan", user=6, now=100 * DAY)]
+        parallel = ParallelBatchLinker(linker, workers=2)
+        try:
+            before = parallel.link_batch(request)
+            assert before[0].best.entity_id == 0  # popularity favours e0
+            # flood e2 ("air jordan") with confirmations: the *parent*
+            # linker now ranks it first on popularity
+            for i in range(60):
+                linker.confirm_link(2, user=12, timestamp=float(i))
+            assert linker.link("jordan", user=6, now=100 * DAY).best.entity_id == 2
+            stale = parallel.link_batch(request)
+            _assert_same_results(stale, before)  # fork-time snapshot
+            parallel.refresh()
+            fresh = parallel.link_batch(request)
+            assert fresh[0].best.entity_id == 2
+        finally:
+            parallel.close()
+
+    def test_requires_linker_or_recipe(self):
+        with pytest.raises(ValueError):
+            ParallelBatchLinker()
+
+    def test_negative_bucket_rejected(self, linker):
+        with pytest.raises(ValueError):
+            ParallelBatchLinker(linker, recency_bucket=-1.0)
+
+    def test_recipe_path(self, linker):
+        recipe = LinkerRecipe(factory=lambda bound=linker: bound)
+        with ParallelBatchLinker(recipe=recipe, workers=1) as parallel:
+            results = parallel.link_batch(_requests())
+        expected = [linker.link(r.surface, r.user, r.now) for r in _requests()]
+        _assert_same_results(results, expected)
+
+    def test_recipe_build_applies_args(self):
+        recipe = LinkerRecipe(
+            factory=lambda *args, **kwargs: (args, kwargs),
+            args=(1, 2),
+            kwargs=(("name", "x"),),
+        )
+        assert recipe.build() == ((1, 2), {"name": "x"})

@@ -1,0 +1,154 @@
+"""Perf registry: counters, gated timers, percentiles, snapshots."""
+
+import pytest
+
+from repro.perf import PERF, PerfRegistry, percentile
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 50.0) == 0.0
+
+    def test_single_sample(self):
+        assert percentile([7.0], 0.0) == 7.0
+        assert percentile([7.0], 100.0) == 7.0
+
+    def test_nearest_rank(self):
+        samples = [float(v) for v in range(1, 11)]  # 1..10
+        assert percentile(samples, 50.0) == 5.0
+        assert percentile(samples, 95.0) == 10.0
+        assert percentile(samples, 10.0) == 1.0
+
+    def test_unsorted_input(self):
+        assert percentile([3.0, 1.0, 2.0], 100.0) == 3.0
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101.0)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1.0)
+
+
+class TestCounters:
+    def test_incr_creates_and_accumulates(self):
+        registry = PerfRegistry()
+        registry.incr("bfs")
+        registry.incr("bfs", 4)
+        assert registry.counter("bfs") == 5
+
+    def test_counters_record_while_disabled(self):
+        registry = PerfRegistry()
+        assert not registry.enabled
+        registry.incr("always")
+        assert registry.counter("always") == 1
+
+    def test_unknown_counter_is_zero(self):
+        assert PerfRegistry().counter("nope") == 0
+
+    def test_hit_rate(self):
+        registry = PerfRegistry()
+        registry.incr("cache.hit", 3)
+        registry.incr("cache.miss", 1)
+        assert registry.hit_rate("cache") == pytest.approx(0.75)
+
+    def test_hit_rate_unconsulted_cache(self):
+        assert PerfRegistry().hit_rate("cold") == 0.0
+
+
+class TestTimers:
+    def test_time_block_noop_when_disabled(self):
+        registry = PerfRegistry()
+        with registry.time_block("stage"):
+            pass
+        assert registry.samples("stage") == []
+
+    def test_time_block_records_when_enabled(self):
+        registry = PerfRegistry()
+        registry.enable()
+        with registry.time_block("stage"):
+            pass
+        samples = registry.samples("stage")
+        assert len(samples) == 1
+        assert samples[0] >= 0.0
+
+    def test_observe_ignores_switch(self):
+        registry = PerfRegistry()
+        registry.observe("stage", 0.25)
+        assert registry.samples("stage") == [0.25]
+
+    def test_bounded_window(self):
+        registry = PerfRegistry(max_samples=3)
+        for v in range(5):
+            registry.observe("stage", float(v))
+        assert registry.samples("stage") == [2.0, 3.0, 4.0]
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            PerfRegistry(max_samples=0)
+
+    def test_timer_stats(self):
+        registry = PerfRegistry()
+        for v in (1.0, 2.0, 3.0, 4.0):
+            registry.observe("stage", v)
+        stats = registry.timer_stats("stage")
+        assert stats["count"] == 4.0
+        assert stats["total_s"] == pytest.approx(10.0)
+        assert stats["mean_s"] == pytest.approx(2.5)
+        assert stats["p50_s"] == 2.0
+        assert stats["p99_s"] == 4.0
+
+    def test_timer_stats_empty(self):
+        stats = PerfRegistry().timer_stats("stage")
+        assert stats["count"] == 0.0
+        assert stats["mean_s"] == 0.0
+
+
+class TestSnapshot:
+    def test_snapshot_shape(self):
+        registry = PerfRegistry()
+        registry.incr("cache.hit", 2)
+        registry.incr("cache.miss", 2)
+        registry.incr("bfs")
+        registry.observe("stage", 0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {"bfs": 1, "cache.hit": 2, "cache.miss": 2}
+        assert snapshot["cache_hit_rates"] == {"cache": 0.5}
+        assert snapshot["timers"]["stage"]["count"] == 1.0
+
+    def test_reset_keeps_switch(self):
+        registry = PerfRegistry()
+        registry.enable()
+        registry.incr("x")
+        registry.observe("stage", 1.0)
+        registry.reset()
+        assert registry.counter("x") == 0
+        assert registry.samples("stage") == []
+        assert registry.enabled
+
+
+class TestGlobalRegistryHooks:
+    def test_linker_stages_timed(self, small_context):
+        """The link() hot path records its stage breakdown when enabled."""
+        linker = small_context.social_temporal()._linker
+        tweet = small_context.test_dataset.tweets[0]
+        mention = tweet.mentions[0]
+        PERF.reset()
+        PERF.enable()
+        try:
+            linker.link(mention.surface, tweet.user, tweet.timestamp)
+        finally:
+            PERF.disable()
+            stages = {
+                name
+                for name in (
+                    "link.candidates",
+                    "link.interest",
+                    "link.recency",
+                    "link.popularity",
+                    "link.combine",
+                )
+                if PERF.samples(name)
+            }
+            PERF.reset()
+        assert "link.candidates" in stages
+        assert "link.combine" in stages

@@ -248,3 +248,59 @@ class TestMetricsProperties:
         report = mention_and_tweet_accuracy(tweets, predictions)
         assert report.mention_accuracy == 1.0
         assert report.tweet_accuracy == 1.0
+
+
+# ---------------------------------------------------------------------- #
+# one-pass reachability vs the per-target DAG walk (Eq. 4)
+# ---------------------------------------------------------------------- #
+edges_strategy = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=11),
+        st.integers(min_value=0, max_value=11),
+    ).filter(lambda edge: edge[0] != edge[1]),
+    max_size=60,
+)
+
+
+class TestOnePassReachability:
+    @given(
+        edges=edges_strategy,
+        source=st.integers(min_value=0, max_value=11),
+        max_hops=st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_one_pass_matches_per_target(self, edges, source, max_hops):
+        from repro.graph.digraph import DiGraph
+        from repro.graph.reachability import (
+            weighted_reachability,
+            weighted_reachability_from,
+            weighted_reachability_from_per_target,
+        )
+
+        graph = DiGraph.from_edges(12, edges)
+        one_pass = weighted_reachability_from(graph, source, max_hops=max_hops)
+        per_target = weighted_reachability_from_per_target(
+            graph, source, max_hops=max_hops
+        )
+        assert set(one_pass) == set(per_target)
+        for target, score in one_pass.items():
+            assert score == pytest.approx(per_target[target], rel=1e-12, abs=0.0)
+            assert score == pytest.approx(
+                weighted_reachability(graph, source, target, max_hops=max_hops),
+                rel=1e-12,
+                abs=0.0,
+            )
+
+    @given(edges=edges_strategy, source=st.integers(min_value=0, max_value=11))
+    @settings(max_examples=50, deadline=None)
+    def test_one_pass_scores_well_formed(self, edges, source):
+        from repro.graph.digraph import DiGraph
+        from repro.graph.reachability import weighted_reachability_from
+
+        graph = DiGraph.from_edges(12, edges)
+        scores = weighted_reachability_from(graph, source)
+        assert source not in scores
+        for target in graph.out_neighbors(source):
+            assert scores[target] == 1.0  # direct followees (d=1, F_uv=F_u)
+        for score in scores.values():
+            assert 0.0 < score <= 1.0
