@@ -1,0 +1,53 @@
+"""repro.analysis — the project's AST-based invariant linter.
+
+``repro check`` enforces, before every PR, the conventions the serving
+and parallel layers rely on but cannot assert at runtime: seeded
+randomness and argument-passed timestamps (**DET**), the typed error
+taxonomy (**ERR**), worker-snapshot discipline (**PAR**), tolerance-
+aware float comparisons in ranking code (**NUM**), and interface
+hygiene (**API**).  See DESIGN.md §8 for the rule table and
+``docs/static-analysis.md`` for the JSON report schema.
+
+Programmatic use::
+
+    from repro.analysis import run_check
+
+    report = run_check(["src"])
+    assert report.exit_code(strict=True) == 0, report.findings
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.framework import (
+    CheckReport,
+    FileContext,
+    Finding,
+    Rule,
+    Severity,
+    all_rules,
+    register,
+    run_check,
+)
+from repro.analysis.pragmas import Pragma, parse_pragmas
+from repro.analysis.reporters import (
+    render_json,
+    render_text,
+    validate_check_document,
+)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "CheckReport",
+    "FileContext",
+    "Finding",
+    "Pragma",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "parse_pragmas",
+    "register",
+    "render_json",
+    "render_text",
+    "run_check",
+    "validate_check_document",
+]

@@ -1,0 +1,169 @@
+"""Committed baseline of grandfathered ``repro check`` findings.
+
+When a new rule lands, pre-existing violations should not block the gate
+forever — but they must stay visible and individually justified.  The
+baseline file records them as JSON entries keyed by **content**, not line
+number::
+
+    {
+      "schema_version": 1,
+      "entries": [
+        {
+          "path": "src/repro/old_module.py",
+          "rule": "NUM-001",
+          "line_text": "if score == best_score:",
+          "justification": "pre-dates NUM-001; tracked in ISSUE 9"
+        }
+      ]
+    }
+
+Keying on the stripped source line text makes entries survive unrelated
+edits above them (line numbers drift; the violating line itself does
+not).  One entry suppresses every finding of that rule on an identical
+line in that file, so a moved-but-unchanged violation stays
+grandfathered while any *edit* to the line revokes the exemption — the
+edit is the moment the author should fix it for real.
+
+Entries without a ``justification`` are rejected at load time: an
+unexplained exemption is exactly the silent rot this subsystem exists to
+prevent.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import TYPE_CHECKING, Dict, List, Sequence, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.analysis.framework import Finding
+
+__all__ = ["Baseline", "BaselineEntry", "SCHEMA_VERSION"]
+
+SCHEMA_VERSION = 1
+
+
+@dataclasses.dataclass(frozen=True)
+class BaselineEntry:
+    """One grandfathered finding, keyed by content."""
+
+    path: str
+    rule: str
+    line_text: str
+    justification: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.path, self.rule, self.line_text)
+
+    def as_dict(self) -> Dict[str, str]:
+        return dataclasses.asdict(self)
+
+
+class Baseline:
+    """The set of grandfathered findings, with load/save round-tripping."""
+
+    def __init__(self, entries: Sequence[BaselineEntry] = ()) -> None:
+        self._entries: Dict[Tuple[str, str, str], BaselineEntry] = {
+            entry.key(): entry for entry in entries
+        }
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def entries(self) -> List[BaselineEntry]:
+        return [self._entries[key] for key in sorted(self._entries)]
+
+    def covers(self, finding: "Finding", line_text: str) -> bool:
+        return (finding.path, finding.rule, line_text.strip()) in self._entries
+
+    def partition(
+        self, findings: Sequence["Finding"], lines: Sequence[str]
+    ) -> Tuple[List["Finding"], List["Finding"]]:
+        """Split one file's findings into (kept, suppressed-by-baseline)."""
+        kept: List["Finding"] = []
+        suppressed: List["Finding"] = []
+        for finding in findings:
+            index = finding.line - 1
+            text = lines[index] if 0 <= index < len(lines) else ""
+            if self.covers(finding, text):
+                suppressed.append(finding)
+            else:
+                kept.append(finding)
+        return kept, suppressed
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_findings(
+        cls,
+        findings: Sequence["Finding"],
+        sources: Dict[str, Sequence[str]],
+        justification: str,
+    ) -> "Baseline":
+        """Build a baseline that grandfathers ``findings`` (the
+        ``--write-baseline`` path); ``sources`` maps path -> file lines."""
+        entries = []
+        for finding in findings:
+            lines = sources.get(finding.path, ())
+            index = finding.line - 1
+            text = lines[index].strip() if 0 <= index < len(lines) else ""
+            entries.append(
+                BaselineEntry(
+                    path=finding.path,
+                    rule=finding.rule,
+                    line_text=text,
+                    justification=justification,
+                )
+            )
+        return cls(entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            document = json.load(handle)
+        if not isinstance(document, dict):
+            raise ValueError(f"baseline {path}: document is not a JSON object")
+        version = document.get("schema_version")
+        if version != SCHEMA_VERSION:
+            raise ValueError(
+                f"baseline {path}: schema_version {version!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        raw_entries = document.get("entries")
+        if not isinstance(raw_entries, list):
+            raise ValueError(f"baseline {path}: 'entries' must be a list")
+        entries = []
+        for index, raw in enumerate(raw_entries):
+            if not isinstance(raw, dict):
+                raise ValueError(f"baseline {path}: entries[{index}] not an object")
+            missing = {"path", "rule", "line_text", "justification"} - set(raw)
+            if missing:
+                raise ValueError(
+                    f"baseline {path}: entries[{index}] missing {sorted(missing)}"
+                )
+            if not str(raw["justification"]).strip():
+                raise ValueError(
+                    f"baseline {path}: entries[{index}] has an empty "
+                    "justification — every grandfathered finding must say why"
+                )
+            entries.append(
+                BaselineEntry(
+                    path=str(raw["path"]),
+                    rule=str(raw["rule"]),
+                    line_text=str(raw["line_text"]).strip(),
+                    justification=str(raw["justification"]).strip(),
+                )
+            )
+        return cls(entries)
+
+    def save(self, path: str) -> str:
+        document = {
+            "schema_version": SCHEMA_VERSION,
+            "entries": [entry.as_dict() for entry in self.entries],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, indent=2, sort_keys=False)
+            handle.write("\n")
+        return path

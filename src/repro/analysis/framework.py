@@ -1,0 +1,328 @@
+"""Rule framework of the ``repro check`` static analyzer.
+
+The analyzer is deliberately pure-stdlib: every rule works on the
+``ast`` module's tree of one file plus a little path context, so the
+gate runs anywhere the library runs — no third-party linter needed and
+no version skew between CI and a contributor's machine.
+
+The moving parts:
+
+* :class:`FileContext` — one parsed file (path, dotted module name,
+  source lines, AST) plus helpers rules share;
+* :class:`Rule` — the plugin base class; concrete rules declare ``id``,
+  ``severity``, ``summary`` and yield :class:`Finding`\\ s from
+  :meth:`Rule.check`;
+* :func:`register` / :func:`all_rules` — the registry that makes the
+  rule pack discoverable without hard-coding a list anywhere;
+* :func:`run_check` — the driver: walk files, parse, run every rule,
+  apply ``noqa[...]`` pragmas and the committed baseline, and return a
+  :class:`CheckReport`.
+
+Suppression has exactly two mechanisms, both carrying a *justification*
+so a grandfathered finding never loses its paper trail: inline pragmas
+(:mod:`repro.analysis.pragmas`) for intentional boundaries, and the
+baseline file (:mod:`repro.analysis.baseline`) for findings inherited
+from before a rule existed.  A pragma without a justification is itself
+a finding (``ANA-001``) — the suppression still applies, but the gate
+stays red until the "why" is written down.
+"""
+
+from __future__ import annotations
+
+import ast
+import dataclasses
+import enum
+import os
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.pragmas import Pragma, parse_pragmas
+
+__all__ = [
+    "CheckReport",
+    "FileContext",
+    "Finding",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "iter_python_files",
+    "register",
+    "run_check",
+]
+
+
+class Severity(enum.Enum):
+    """How a finding affects the exit code.
+
+    ``ERROR`` fails the gate always; ``WARNING`` fails it only under
+    ``--strict`` (the CI mode).  There is deliberately no "info" level:
+    a rule either protects an invariant or it should not exist.
+    """
+
+    ERROR = "error"
+    WARNING = "warning"
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+    severity: Severity = dataclasses.field(compare=False, default=Severity.ERROR)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+@dataclasses.dataclass(frozen=True)
+class FileContext:
+    """Everything a rule may look at for one file."""
+
+    path: str  # repo-relative posix path, e.g. "src/repro/core/linker.py"
+    module: str  # dotted module name, e.g. "repro.core.linker"
+    source: str
+    lines: Tuple[str, ...]
+    tree: ast.Module
+
+    @classmethod
+    def parse(cls, path: str, source: str, root: str = "") -> "FileContext":
+        relative = os.path.relpath(path, root) if root else path
+        relative = relative.replace(os.sep, "/")
+        return cls(
+            path=relative,
+            module=_module_name(relative),
+            source=source,
+            lines=tuple(source.splitlines()),
+            tree=ast.parse(source, filename=relative),
+        )
+
+    def in_module(self, *prefixes: str) -> bool:
+        """Whether this file's dotted module matches any prefix exactly or
+        as a package ancestor (``repro.core`` matches ``repro.core.linker``)."""
+        return any(
+            self.module == prefix or self.module.startswith(prefix + ".")
+            for prefix in prefixes
+        )
+
+    def is_package_init(self) -> bool:
+        return self.path.endswith("__init__.py")
+
+
+def _module_name(relative_path: str) -> str:
+    parts = relative_path[:-3].split("/")  # drop ".py"
+    if parts and parts[0] in ("src", "lib"):
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+class Rule:
+    """Base class of every check; subclasses self-register via
+    :func:`register` and yield findings from :meth:`check`.
+
+    ``id`` follows ``<FAMILY>-<NNN>`` (DET/ERR/PAR/NUM/API/ANA families);
+    ``summary`` is the one-liner shown in reports and the DESIGN.md rule
+    table.
+    """
+
+    id: str = ""
+    severity: Severity = Severity.ERROR
+    summary: str = ""
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: FileContext, node: ast.AST, message: str
+    ) -> Finding:
+        return Finding(
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule=self.id,
+            message=message,
+            severity=self.severity,
+        )
+
+
+_REGISTRY: Dict[str, Rule] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule (by instance) to the registry."""
+    if not rule_cls.id:
+        raise ValueError(f"{rule_cls.__name__} has no rule id")
+    if rule_cls.id in _REGISTRY:
+        raise ValueError(f"duplicate rule id {rule_cls.id}")
+    _REGISTRY[rule_cls.id] = rule_cls()
+    return rule_cls
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, in stable id order."""
+    import repro.analysis.rules  # noqa: F401 — registration side effect
+
+    return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
+
+
+# ---------------------------------------------------------------------- #
+# pragma application
+# ---------------------------------------------------------------------- #
+#: Rule id of the "pragma without justification" meta-finding.
+PRAGMA_JUSTIFICATION_RULE = "ANA-001"
+
+
+def _apply_pragmas(
+    findings: List[Finding], pragmas: Dict[int, Pragma], path: str
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split ``findings`` into (kept, suppressed) per the file's pragmas,
+    and append an ``ANA-001`` finding for every pragma lacking a
+    justification."""
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in findings:
+        pragma = pragmas.get(finding.line)
+        if pragma is not None and pragma.covers(finding.rule):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+    for line in sorted(pragmas):
+        pragma = pragmas[line]
+        if not pragma.justification:
+            kept.append(
+                Finding(
+                    path=path,
+                    line=line,
+                    col=0,
+                    rule=PRAGMA_JUSTIFICATION_RULE,
+                    message=(
+                        "noqa pragma has no justification; write "
+                        "`# repro: noqa[RULE] -- why this boundary is sound`"
+                    ),
+                    severity=Severity.ERROR,
+                )
+            )
+    return kept, suppressed
+
+
+# ---------------------------------------------------------------------- #
+# driver
+# ---------------------------------------------------------------------- #
+@dataclasses.dataclass
+class CheckReport:
+    """Outcome of one analyzer run over a file set."""
+
+    findings: List[Finding]
+    suppressed_pragma: List[Finding]
+    suppressed_baseline: List[Finding]
+    files_scanned: int
+    parse_errors: List[Finding] = dataclasses.field(default_factory=list)
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.ERROR]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity is Severity.WARNING]
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 when the gate passes; 1 when findings fail it.
+
+        Non-strict fails on errors only; ``--strict`` (the CI mode) fails
+        on any unsuppressed finding.
+        """
+        failing = self.findings if strict else self.errors
+        return 1 if failing else 0
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
+    """Expand files/directories into a sorted, deduplicated .py file list."""
+    seen = set()
+    collected: List[str] = []
+    for path in paths:
+        if os.path.isfile(path):
+            candidates: Iterable[str] = [path]
+        else:
+            # os.walk order is fs-dependent; the final sorted() makes the
+            # file list deterministic regardless
+            candidates = (
+                os.path.join(dirpath, name)
+                for dirpath, _dirnames, names in os.walk(path)
+                for name in names
+            )
+        for candidate in candidates:
+            if candidate.endswith(".py") and candidate not in seen:
+                seen.add(candidate)
+                collected.append(candidate)
+    return iter(sorted(collected))
+
+
+def run_check(
+    paths: Sequence[str],
+    root: str = "",
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> CheckReport:
+    """Run every rule over every python file under ``paths``.
+
+    ``root`` anchors the repo-relative paths used in reports, pragmas and
+    baseline keys, so a run from any working directory produces identical
+    output.  Unparseable files produce an ``ANA-002`` error finding
+    instead of crashing the gate (a syntax error must fail CI loudly, not
+    with a traceback).
+    """
+    selected = list(rules) if rules is not None else all_rules()
+    report = CheckReport(
+        findings=[],
+        suppressed_pragma=[],
+        suppressed_baseline=[],
+        files_scanned=0,
+    )
+    for file_path in iter_python_files(paths):
+        with open(file_path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            ctx = FileContext.parse(file_path, source, root=root)
+        except SyntaxError as exc:
+            relative = (
+                os.path.relpath(file_path, root) if root else file_path
+            ).replace(os.sep, "/")
+            report.parse_errors.append(
+                Finding(
+                    path=relative,
+                    line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    rule="ANA-002",
+                    message=f"file does not parse: {exc.msg}",
+                    severity=Severity.ERROR,
+                )
+            )
+            continue
+        report.files_scanned += 1
+        raw: List[Finding] = []
+        for rule in selected:
+            raw.extend(rule.check(ctx))
+        kept, by_pragma = _apply_pragmas(raw, parse_pragmas(ctx.lines), ctx.path)
+        if baseline is not None:
+            kept, by_baseline = baseline.partition(kept, ctx.lines)
+            report.suppressed_baseline.extend(by_baseline)
+        report.suppressed_pragma.extend(by_pragma)
+        report.findings.extend(kept)
+    report.findings.extend(report.parse_errors)
+    report.findings.sort()
+    report.suppressed_pragma.sort()
+    report.suppressed_baseline.sort()
+    return report

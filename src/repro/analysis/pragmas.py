@@ -1,0 +1,67 @@
+"""Inline suppression pragmas for ``repro check``.
+
+A finding is suppressed on the line that carries::
+
+    # repro: noqa[DET-003] -- report stamp; tests inject generated_at
+    # repro: noqa[ERR-002,ANA-002] -- multi-rule form
+    # repro: noqa[*] -- blanket form (discouraged; still needs a why)
+
+The ``-- justification`` tail is part of the contract: the analyzer
+treats a pragma without one as an ``ANA-001`` finding, so every
+suppression in the tree explains itself.  The pragma applies only to
+findings reported **on its own line** — there is no file-level or
+block-level form, which keeps suppressions exactly as narrow as the
+violation they cover.
+
+The parser is line-based (not tokenizer-based) on purpose: pragmas must
+be visible in a plain diff, and a pragma inside a string literal is the
+author's problem, not a case worth a real tokenizer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, FrozenSet, Sequence
+
+__all__ = ["Pragma", "parse_pragmas"]
+
+#: ``# repro: noqa[RULE-ID,...]`` with an optional ``-- why`` tail.
+_PRAGMA_RE = re.compile(
+    r"#\s*repro:\s*noqa\[(?P<rules>[A-Za-z0-9*,\- ]+)\]"
+    r"(?:\s*--\s*(?P<why>.*\S))?"
+)
+
+
+@dataclasses.dataclass(frozen=True)
+class Pragma:
+    """One parsed suppression comment."""
+
+    line: int
+    rules: FrozenSet[str]
+    justification: str
+
+    def covers(self, rule_id: str) -> bool:
+        return "*" in self.rules or rule_id in self.rules
+
+
+def parse_pragmas(lines: Sequence[str]) -> Dict[int, Pragma]:
+    """Map 1-based line number -> :class:`Pragma` for every pragma line."""
+    pragmas: Dict[int, Pragma] = {}
+    for number, text in enumerate(lines, start=1):
+        if "repro:" not in text:  # cheap pre-filter before the regex
+            continue
+        match = _PRAGMA_RE.search(text)
+        if match is None:
+            continue
+        rules = frozenset(
+            part.strip() for part in match.group("rules").split(",") if part.strip()
+        )
+        if not rules:
+            continue
+        pragmas[number] = Pragma(
+            line=number,
+            rules=rules,
+            justification=(match.group("why") or "").strip(),
+        )
+    return pragmas

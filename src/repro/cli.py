@@ -9,14 +9,16 @@ Subcommands::
     repro search    --world world.json.gz --query "jordan dunk" --user 7
     repro stream    --world world.json.gz [--checkpoint ckpt.json --resume]
     repro bench     [--smoke --workers 1 2 4 --out BENCH_linking.json]
+    repro check     [src ...] [--strict --format json --baseline base.json]
 
 ``generate`` builds and persists a synthetic world; the other commands
 load one and run the corresponding piece of the pipeline.  ``stream``
 replays the test stream through the resilient online path (validation,
 reordering, degradation, checkpointing); ``bench`` measures the build /
-single-mention / batch-throughput baseline.  Primary output is plain
-aligned tables on stdout (``repro.eval.reporting``); diagnostics go to
-the ``repro`` logger on stderr (``--log-level``).
+single-mention / batch-throughput baseline; ``check`` runs the project's
+AST invariant linter (DESIGN.md §8).  Primary output is plain aligned
+tables on stdout (``repro.eval.reporting``); diagnostics go to the
+``repro`` logger on stderr (``--log-level``).
 """
 
 from __future__ import annotations
@@ -166,6 +168,36 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--workers", type=int, nargs="+", default=None,
         help="worker counts to measure, e.g. --workers 1 2 4 (must include 1)",
+    )
+
+    check = commands.add_parser(
+        "check",
+        help="run the project's AST invariant linter (DET/ERR/PAR/NUM/API)",
+    )
+    check.add_argument(
+        "paths", nargs="*", default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    check.add_argument(
+        "--strict", action="store_true",
+        help="fail on warnings too, not just errors (the CI gate mode)",
+    )
+    check.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="report format; json follows docs/static-analysis.md",
+    )
+    check.add_argument(
+        "--baseline", default=None,
+        help="baseline file of grandfathered findings (JSON)",
+    )
+    check.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to --baseline instead of failing "
+        "(each entry still needs a hand-written justification)",
+    )
+    check.add_argument(
+        "--out", default=None,
+        help="also write the report document to this path",
     )
     return parser
 
@@ -469,6 +501,62 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    """Run the static analyzer; exit 0 iff the gate passes.
+
+    The repo-relative paths in reports are anchored at the current
+    working directory, so run this from the repo root (as CI does).
+    """
+    import json as _json
+    import os as _os
+
+    from repro.analysis import Baseline, run_check
+    from repro.analysis.reporters import dump_json, render_json, render_text
+
+    baseline = None
+    if args.baseline and _os.path.exists(args.baseline) and not args.write_baseline:
+        baseline = Baseline.load(args.baseline)
+    report = run_check(args.paths, baseline=baseline)
+
+    if args.write_baseline:
+        if not args.baseline:
+            _log.error("--write-baseline requires --baseline PATH")
+            return 2
+        sources = {}
+        for finding in report.findings:
+            if finding.path not in sources:
+                with open(finding.path, "r", encoding="utf-8") as handle:
+                    sources[finding.path] = handle.read().splitlines()
+        Baseline.from_findings(
+            report.findings, sources,
+            justification="TODO: justify or fix (written by --write-baseline)",
+        ).save(args.baseline)
+        print(
+            f"baseline with {len(report.findings)} entr(ies) written to "
+            f"{args.baseline}; replace every TODO justification before "
+            "committing"
+        )
+        return 0
+
+    if args.format == "json":
+        document = render_json(report, strict=args.strict, paths=args.paths)
+        rendered = dump_json(document)
+    else:
+        rendered = render_text(report, strict=args.strict) + "\n"
+    sys.stdout.write(rendered)
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            if args.format == "json":
+                handle.write(rendered)
+            else:
+                _json.dump(
+                    render_json(report, strict=args.strict, paths=args.paths),
+                    handle, indent=2,
+                )
+                handle.write("\n")
+    return report.exit_code(strict=args.strict)
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "datasets": _cmd_datasets,
@@ -479,6 +567,7 @@ _HANDLERS = {
     "validate": _cmd_validate,
     "stream": _cmd_stream,
     "bench": _cmd_bench,
+    "check": _cmd_check,
 }
 
 

@@ -17,7 +17,7 @@ import enum
 import time
 from typing import Callable, TypeVar
 
-from repro.errors import CircuitOpenError
+from repro.errors import CircuitOpenError, ReproError
 from repro.log import get_logger
 
 T = TypeVar("T")
@@ -125,7 +125,10 @@ class CircuitBreaker:
             )
         try:
             result = fn(*args, **kwargs)
-        except Exception:
+        except ReproError:
+            # Only taxonomy failures count toward tripping: a provider
+            # that raises TypeError is a bug to surface, not a dependency
+            # outage to mask behind an open circuit.
             self.record_failure()
             raise
         self.record_success()

@@ -324,7 +324,10 @@ class ResilientIngestor:
         while True:
             try:
                 return provider()
-            except Exception as exc:
+            except ReproError as exc:
+                # Non-taxonomy exceptions propagate uncaught (they were
+                # never retryable); permanent taxonomy errors re-raise on
+                # the is_transient check below.
                 if not is_transient(exc) or attempt >= self._max_retries:
                     raise
                 delay = min(

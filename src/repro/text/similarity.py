@@ -67,7 +67,7 @@ class TfIdfVectorizer:
     def vectorize(self, tokens: List[str]) -> Dict[str, float]:
         """Return the tf-idf vector of ``tokens`` as a sparse dict."""
         if not self._fitted:
-            raise RuntimeError("TfIdfVectorizer.vectorize called before fit()")
+            raise ValueError("TfIdfVectorizer.vectorize called before fit()")
         counts = Counter(tokens)
         total = sum(counts.values())
         if total == 0:

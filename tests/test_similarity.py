@@ -29,7 +29,7 @@ class TestCosine:
 
 class TestTfIdfVectorizer:
     def test_vectorize_before_fit_raises(self):
-        with pytest.raises(RuntimeError):
+        with pytest.raises(ValueError):
             TfIdfVectorizer().vectorize(["a"])
 
     def test_rare_terms_weigh_more(self):
