@@ -46,7 +46,9 @@ PARALLEL_MODULES = ("repro.core.parallel", "repro.parallelism")
 #: Scoring/linking scope of the wall-clock ban: everything whose output
 #: feeds a score, a rank, or an evaluation table.  Serving-side modules
 #: (stream, resilience, cli, bench, perf, log) may read clocks — that is
-#: their job.
+#: their job.  ``repro.obs`` is in scope because golden traces must be
+#: byte-identical run over run: tracer time comes from injected clocks
+#: only (the deterministic TickClock by default), never the wall.
 SCORING_MODULES = (
     "repro.core",
     "repro.graph",
@@ -56,6 +58,7 @@ SCORING_MODULES = (
     "repro.eval",
     "repro.text",
     "repro.parallelism",
+    "repro.obs",
 )
 
 #: Float-equality scope (NUM-001): where ranking and metrics live.

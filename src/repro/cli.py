@@ -10,15 +10,19 @@ Subcommands::
     repro stream    --world world.json.gz [--checkpoint ckpt.json --resume]
     repro bench     [--smoke --workers 1 2 4 --out BENCH_linking.json]
     repro check     [src ...] [--strict --format json --baseline base.json]
+    repro trace     [--scenario normal|abstention|degraded|all]
+                    [--check-golden | --write-golden] [--metrics-out M.json]
 
 ``generate`` builds and persists a synthetic world; the other commands
 load one and run the corresponding piece of the pipeline.  ``stream``
 replays the test stream through the resilient online path (validation,
 reordering, degradation, checkpointing); ``bench`` measures the build /
 single-mention / batch-throughput baseline; ``check`` runs the project's
-AST invariant linter (DESIGN.md §8).  Primary output is plain aligned
-tables on stdout (``repro.eval.reporting``); diagnostics go to the
-``repro`` logger on stderr (``--log-level``).
+AST invariant linter (DESIGN.md §8); ``trace`` runs the deterministic
+observability scenarios and maintains the golden-trace fixtures
+(docs/observability.md).  Primary output is plain aligned tables on
+stdout (``repro.eval.reporting``); diagnostics go to the ``repro``
+logger on stderr (``--log-level``).
 """
 
 from __future__ import annotations
@@ -81,6 +85,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=1,
         help="worker processes for the social-temporal replay "
         "(predictions are identical at any count)",
+    )
+    evaluate.add_argument(
+        "--metrics-out", default=None,
+        help="write the run's metrics document (repro.obs) to this path",
     )
 
     link = commands.add_parser("link", help="link one mention")
@@ -152,6 +160,10 @@ def build_parser() -> argparse.ArgumentParser:
         "at --checkpoint-every cadence, so confirmed links reach the "
         "workers one refresh late",
     )
+    stream.add_argument(
+        "--metrics-out", default=None,
+        help="write the run's metrics document (repro.obs) to this path",
+    )
 
     bench = commands.add_parser(
         "bench", help="measure the linking performance baseline"
@@ -168,6 +180,43 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--workers", type=int, nargs="+", default=None,
         help="worker counts to measure, e.g. --workers 1 2 4 (must include 1)",
+    )
+    bench.add_argument(
+        "--metrics-out", default=None,
+        help="write the run's metrics document (repro.obs) to this path",
+    )
+
+    trace = commands.add_parser(
+        "trace",
+        help="run the deterministic observability scenarios and export "
+        "their span traces (golden-trace tooling)",
+    )
+    trace.add_argument(
+        "--scenario", choices=("normal", "abstention", "degraded", "all"),
+        default="all", help="which fixture scenario to run",
+    )
+    trace.add_argument(
+        "--out", default=None,
+        help="write one scenario's trace (JSON lines) here; requires a "
+        "single --scenario",
+    )
+    trace.add_argument(
+        "--golden-dir", default="tests/golden",
+        help="directory of the committed golden trace fixtures",
+    )
+    trace.add_argument(
+        "--write-golden", action="store_true",
+        help="regenerate the golden fixtures under --golden-dir "
+        "(review the diff before committing)",
+    )
+    trace.add_argument(
+        "--check-golden", action="store_true",
+        help="diff live traces against the goldens; exit 1 on any drift "
+        "(the CI obs-smoke gate)",
+    )
+    trace.add_argument(
+        "--metrics-out", default=None,
+        help="write the scenarios' merged metrics document to this path",
     )
 
     check = commands.add_parser(
@@ -200,6 +249,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="also write the report document to this path",
     )
     return parser
+
+
+# ---------------------------------------------------------------------- #
+# metrics export (shared by evaluate / stream / bench / trace)
+# ---------------------------------------------------------------------- #
+def _metrics_begin(path: Optional[str]) -> None:
+    """Reset the metrics and perf registries for a ``--metrics-out`` run.
+
+    A written document should describe exactly one command invocation;
+    without the flag the registries keep their (cheap, always-on) state
+    and nothing changes.
+    """
+    if not path:
+        return
+    from repro.obs.metrics import METRICS
+    from repro.perf import PERF
+
+    METRICS.reset()
+    PERF.reset()
+    PERF.enable()
+
+
+def _metrics_write(path: Optional[str], tool: str) -> None:
+    """Render and write the unified metrics document (schema-checked)."""
+    if not path:
+        return
+    import json as _json
+
+    from repro.obs.metrics import (
+        METRICS,
+        render_metrics_document,
+        validate_metrics_document,
+    )
+    from repro.perf import PERF
+
+    document = render_metrics_document(METRICS, perf=PERF, tool=tool)
+    problems = validate_metrics_document(document)
+    if problems:  # pragma: no cover - the renderer emits its own schema
+        raise ValueError(f"invalid metrics document: {problems}")
+    with open(path, "w", encoding="utf-8") as handle:
+        _json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"metrics written to {path}")
 
 
 # ---------------------------------------------------------------------- #
@@ -238,6 +330,7 @@ def _cmd_datasets(args: argparse.Namespace) -> int:
 
 
 def _cmd_evaluate(args: argparse.Namespace) -> int:
+    _metrics_begin(args.metrics_out)
     context = build_experiment(
         world=load_world(args.world),
         threshold=args.threshold,
@@ -265,6 +358,7 @@ def _cmd_evaluate(args: argparse.Namespace) -> int:
         )
     print(format_table(rows, title=f"test-set accuracy (D{args.threshold}, "
                                    f"{args.complement} complementation)"))
+    _metrics_write(args.metrics_out, tool="repro evaluate")
     return 0
 
 
@@ -361,6 +455,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.resilience.breaker import CircuitBreaker
     from repro.stream.ingest import ResilientIngestor, TweetValidator
 
+    _metrics_begin(args.metrics_out)
     world = load_world(args.world)
     context = build_experiment(world=world, complement_method="truth")
     ckb = context.ckb
@@ -470,12 +565,14 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         }
     ]
     print(format_table(rows, title="resilient stream replay"))
+    _metrics_write(args.metrics_out, tool="repro stream")
     return 0
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import run_bench
 
+    _metrics_begin(args.metrics_out)
     document = run_bench(
         seed=args.seed, smoke=args.smoke, workers_list=args.workers, out=args.out
     )
@@ -498,7 +595,93 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"p99 {single['p99_ms']:.3f} ms over {single['mentions']} mentions"
     )
     print(f"benchmark written to {args.out}")
+    _metrics_write(args.metrics_out, tool="repro bench")
     return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Run the deterministic observability scenarios; manage goldens.
+
+    ``--check-golden`` is the CI gate: any field-level drift between a
+    live trace and its committed fixture prints the exact fields that
+    moved and exits 1.  ``--write-golden`` regenerates the fixtures (the
+    diff is then reviewed like any other behavior change).
+    """
+    import json as _json
+    import os as _os
+
+    from repro.obs.export import (
+        diff_trace_documents,
+        dump_trace_jsonl,
+        load_trace_jsonl,
+    )
+    from repro.obs.metrics import (
+        MetricsRegistry,
+        render_metrics_document,
+    )
+    from repro.obs.scenarios import SCENARIOS, golden_path, run_scenario
+
+    if args.write_golden and args.check_golden:
+        _log.error("--write-golden and --check-golden are mutually exclusive")
+        return 2
+    names = SCENARIOS if args.scenario == "all" else (args.scenario,)
+    if args.out and len(names) != 1:
+        _log.error("--out needs a single --scenario, not %r", args.scenario)
+        return 2
+
+    merged = MetricsRegistry()
+    rows = []
+    drifted = False
+    for name in names:
+        document, metrics, results = run_scenario(name)
+        merged.merge(metrics)
+        rendered = dump_trace_jsonl(document)
+        status = "-"
+        fixture = golden_path(args.golden_dir, name)
+        if args.write_golden:
+            _os.makedirs(args.golden_dir, exist_ok=True)
+            with open(fixture, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            status = "written"
+        elif args.check_golden:
+            if not _os.path.exists(fixture):
+                _log.error("golden fixture missing: %s", fixture)
+                drifted = True
+                status = "MISSING"
+            else:
+                with open(fixture, "r", encoding="utf-8") as handle:
+                    golden = load_trace_jsonl(handle.read())
+                diffs = diff_trace_documents(golden, document)
+                if diffs:
+                    drifted = True
+                    status = f"DRIFTED ({len(diffs)})"
+                    for diff in diffs:
+                        _log.error("%s: %s", name, diff)
+                else:
+                    status = "ok"
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(rendered)
+            print(f"trace written to {args.out}")
+        counters = metrics["counters"]
+        rows.append(
+            {
+                "scenario": name,
+                "spans": document["meta"]["span_count"],
+                "requests": counters.get("link.requests", 0),
+                "degraded": counters.get("link.degraded", 0),
+                "abstained": counters.get("link.abstained", 0),
+                "golden": status,
+            }
+        )
+    print(format_table(rows, title="observability scenarios"))
+    if args.metrics_out:
+        document = render_metrics_document(merged, tool="repro trace")
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            _json.dump(document, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"metrics written to {args.metrics_out}")
+    return 1 if drifted else 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -568,6 +751,7 @@ _HANDLERS = {
     "stream": _cmd_stream,
     "bench": _cmd_bench,
     "check": _cmd_check,
+    "trace": _cmd_trace,
 }
 
 

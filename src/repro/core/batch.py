@@ -21,7 +21,12 @@ from __future__ import annotations
 import dataclasses
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.linker import LinkResult, SocialTemporalLinker
+from repro.core.linker import (
+    LinkResult,
+    SocialTemporalLinker,
+    record_degradation,
+    record_link_outcome,
+)
 from repro.core.popularity import popularity_scores
 from repro.core.scoring import combine_scores
 from repro.errors import (
@@ -29,6 +34,8 @@ from repro.errors import (
     DeadlineExceededError,
     IndexUnavailableError,
 )
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACE
 from repro.stream.tweet import Tweet
 
 
@@ -74,69 +81,107 @@ class MicroBatchLinker:
 
         results: List[LinkResult] = []
         for request in requests:
-            candidates = candidate_cache.get(request.surface)
-            if candidates is None:
-                candidates = linker.candidate_generator.candidates(request.surface)
-                candidate_cache[request.surface] = candidates
-            if not candidates:
-                results.append(
-                    LinkResult(
+            # Cache counters below are keyed per *distinct surface* (or
+            # per surface × recency bucket), which makes their totals
+            # partition-invariant under ParallelBatchLinker's by-surface
+            # sharding — the worker-count parity test relies on that.
+            # The (user, candidate-set) interest cache is NOT invariant
+            # (two distinct surfaces can share a candidate set) and is
+            # therefore deliberately absent from the metrics registry.
+            METRICS.incr("link.requests")
+            with TRACE.span(
+                "link.request", surface=request.surface, user=request.user
+            ) as root:
+                candidates = candidate_cache.get(request.surface)
+                if candidates is None:
+                    METRICS.incr("batch.candidate_cache.miss")
+                    with TRACE.span("link.candidates"):
+                        candidates = linker.candidate_generator.candidates(
+                            request.surface
+                        )
+                    candidate_cache[request.surface] = candidates
+                else:
+                    METRICS.incr("batch.candidate_cache.hit")
+                METRICS.observe(
+                    "link.candidates_per_request", float(len(candidates))
+                )
+                if root.recording:
+                    root.set_attribute("candidates", len(candidates))
+                if not candidates:
+                    METRICS.incr("link.no_candidates")
+                    result = LinkResult(
                         surface=request.surface,
                         user=request.user,
                         timestamp=request.now,
                         ranked=(),
                     )
-                )
-                continue
+                    record_link_outcome(root, result, config)
+                    results.append(result)
+                    continue
 
-            popularity = popularity_cache.get(request.surface)
-            if popularity is None:
-                popularity = popularity_scores(linker.ckb, candidates)
-                popularity_cache[request.surface] = popularity
+                popularity = popularity_cache.get(request.surface)
+                if popularity is None:
+                    METRICS.incr("batch.popularity_cache.miss")
+                    with TRACE.span("link.popularity"):
+                        popularity = popularity_scores(linker.ckb, candidates)
+                    popularity_cache[request.surface] = popularity
+                else:
+                    METRICS.incr("batch.popularity_cache.hit")
 
-            bucketed = self._quantize(request.now)
-            recency_key = (request.surface, bucketed)
-            recency = recency_cache.get(recency_key)
-            if recency is None:
-                recency = linker._recency_scores(candidates, bucketed)
-                recency_cache[recency_key] = recency
+                bucketed = self._quantize(request.now)
+                recency_key = (request.surface, bucketed)
+                recency = recency_cache.get(recency_key)
+                if recency is None:
+                    METRICS.incr("batch.recency_cache.miss")
+                    with TRACE.span("link.recency"):
+                        recency = linker._recency_scores(candidates, bucketed)
+                    recency_cache[recency_key] = recency
+                else:
+                    METRICS.incr("batch.recency_cache.hit")
 
-            # Same degradation ladder as the single-mention path: a faulted
-            # interest computation falls back to the no-interest bound
-            # β·S_r + γ·S_p instead of letting the error escape the batch.
-            # Degraded scores are NOT cached — the next request for the
-            # same (user, candidates) retries, exactly like sequential
-            # linking does once a deadline resets or a breaker half-opens.
-            degradation: Optional[str] = None
-            interest_key = (request.user, candidates)
-            interest = interest_cache.get(interest_key)
-            if interest is None:
-                try:
-                    interest = linker._interest_scores(
-                        request.user, candidates, linker._guarded_provider()
+                # Same degradation ladder as the single-mention path: a
+                # faulted interest computation falls back to the no-interest
+                # bound β·S_r + γ·S_p instead of letting the error escape
+                # the batch.  Degraded scores are NOT cached — the next
+                # request for the same (user, candidates) retries, exactly
+                # like sequential linking does once a deadline resets or a
+                # breaker half-opens.
+                degradation: Optional[str] = None
+                interest_key = (request.user, candidates)
+                interest = interest_cache.get(interest_key)
+                if interest is None:
+                    try:
+                        with TRACE.span("link.interest"):
+                            interest = linker._interest_scores(
+                                request.user, candidates, linker._guarded_provider()
+                            )
+                    except DeadlineExceededError:
+                        interest = {}
+                        degradation = "deadline_exceeded"
+                    except CircuitOpenError:
+                        interest = {}
+                        degradation = "circuit_open"
+                    except IndexUnavailableError:
+                        interest = {}
+                        degradation = "index_unavailable"
+                    if degradation is None:
+                        interest_cache[interest_key] = interest
+                if degradation is not None:
+                    record_degradation(root, degradation)
+
+                with TRACE.span("link.combine"):
+                    ranked = combine_scores(
+                        candidates, interest, recency, popularity, config
                     )
-                except DeadlineExceededError:
-                    interest = {}
-                    degradation = "deadline_exceeded"
-                except CircuitOpenError:
-                    interest = {}
-                    degradation = "circuit_open"
-                except IndexUnavailableError:
-                    interest = {}
-                    degradation = "index_unavailable"
-                if degradation is None:
-                    interest_cache[interest_key] = interest
-
-            ranked = combine_scores(candidates, interest, recency, popularity, config)
-            results.append(
-                LinkResult(
+                result = LinkResult(
                     surface=request.surface,
                     user=request.user,
                     timestamp=request.now,
                     ranked=tuple(ranked),
                     degradation=degradation,
                 )
-            )
+                record_link_outcome(root, result, config)
+                results.append(result)
         return results
 
     def link_tweets(self, tweets: Sequence[Tweet]) -> Dict[int, List[LinkResult]]:

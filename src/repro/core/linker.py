@@ -35,6 +35,8 @@ from repro.errors import (
     IndexUnavailableError,
 )
 from repro.log import get_logger
+from repro.obs.metrics import METRICS, SCORE_BOUNDARIES
+from repro.obs.trace import TRACE
 from repro.perf import PERF
 from repro.resilience.breaker import CircuitBreaker
 from repro.core.popularity import popularity_scores
@@ -89,6 +91,50 @@ class _BreakerGuard:
 
     def reachability(self, source: int, target: int) -> float:
         return self._breaker.call(self._inner.reachability, source, target)
+
+
+def record_degradation(root: object, reason: str) -> None:
+    """Count one degraded link and stamp the typed trace event.
+
+    Shared by the single-mention and micro-batch paths so both emit the
+    same ``link.degraded`` event shape and reason-suffixed counters.
+    ``root`` may be the no-op span; ``add_event`` is then free.
+    """
+    METRICS.incr("link.degraded")
+    METRICS.incr("link.degraded." + reason)
+    root.add_event("link.degraded", reason=reason)  # type: ignore[attr-defined]
+
+
+def record_link_outcome(
+    root: object, result: "LinkResult", config: LinkerConfig
+) -> None:
+    """Record the terminal metrics and root-span attributes for one link.
+
+    ``abstained`` follows Appendix D exactly as the pipeline applies it:
+    an empty candidate set abstains, and a full-fidelity best score at or
+    below the no-interest bound ``β + γ`` abstains — but a *degraded*
+    result never measured interest, so the bound is not evidence of an
+    unknown meaning and the flag stays ``False``.
+    """
+    best = result.best
+    abstained = best is None or (
+        result.degradation is None and best.score <= config.no_interest_bound
+    )
+    if abstained:
+        METRICS.incr("link.abstained")
+    if best is not None:
+        METRICS.observe(
+            "link.best_score", round(best.score, 9), boundaries=SCORE_BOUNDARIES
+        )
+    if root.recording:  # type: ignore[attr-defined]
+        root.set_attribute("degradation", result.degradation)  # type: ignore[attr-defined]
+        root.set_attribute("abstained", abstained)  # type: ignore[attr-defined]
+        if best is not None:
+            root.set_attribute("entity", best.entity_id)  # type: ignore[attr-defined]
+            root.set_attribute("score", round(best.score, 9))  # type: ignore[attr-defined]
+            root.set_attribute("interest", round(best.interest, 9))  # type: ignore[attr-defined]
+            root.set_attribute("recency", round(best.recency, 9))  # type: ignore[attr-defined]
+            root.set_attribute("popularity", round(best.popularity, 9))  # type: ignore[attr-defined]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -223,44 +269,57 @@ class SocialTemporalLinker:
         paper's own Appendix-D no-interest bound — and the result carries
         the degradation reason instead of an exception.
         """
-        with PERF.time_block("link.candidates"):
-            candidates = self._candidates.candidates(surface)
-        if not candidates:
-            return LinkResult(surface=surface, user=user, timestamp=now, ranked=())
-        degradation: Optional[str] = None
-        try:
-            with PERF.time_block("link.interest"):
-                interest = self._interest_scores(
-                    user, candidates, self._guarded_provider()
+        METRICS.incr("link.requests")
+        with TRACE.span("link.request", surface=surface, user=user) as root:
+            with TRACE.span("link.candidates"), PERF.time_block("link.candidates"):
+                candidates = self._candidates.candidates(surface)
+            METRICS.observe("link.candidates_per_request", float(len(candidates)))
+            if root.recording:
+                root.set_attribute("candidates", len(candidates))
+            if not candidates:
+                METRICS.incr("link.no_candidates")
+                result = LinkResult(
+                    surface=surface, user=user, timestamp=now, ranked=()
                 )
-        except DeadlineExceededError:
-            interest = {}
-            degradation = "deadline_exceeded"
-        except CircuitOpenError:
-            interest = {}
-            degradation = "circuit_open"
-        except IndexUnavailableError:
-            interest = {}
-            degradation = "index_unavailable"
-        if degradation is not None:
-            _log.warning(
-                "degraded link for %r (user %d): %s", surface, user, degradation
+                record_link_outcome(root, result, self._config)
+                return result
+            degradation: Optional[str] = None
+            try:
+                with TRACE.span("link.interest"), PERF.time_block("link.interest"):
+                    interest = self._interest_scores(
+                        user, candidates, self._guarded_provider()
+                    )
+            except DeadlineExceededError:
+                interest = {}
+                degradation = "deadline_exceeded"
+            except CircuitOpenError:
+                interest = {}
+                degradation = "circuit_open"
+            except IndexUnavailableError:
+                interest = {}
+                degradation = "index_unavailable"
+            if degradation is not None:
+                _log.warning(
+                    "degraded link for %r (user %d): %s", surface, user, degradation
+                )
+                record_degradation(root, degradation)
+            with TRACE.span("link.recency"), PERF.time_block("link.recency"):
+                recency = self._recency_scores(candidates, now)
+            with TRACE.span("link.popularity"), PERF.time_block("link.popularity"):
+                popularity = popularity_scores(self._ckb, candidates)
+            with TRACE.span("link.combine"), PERF.time_block("link.combine"):
+                ranked = combine_scores(
+                    candidates, interest, recency, popularity, self._config
+                )
+            result = LinkResult(
+                surface=surface,
+                user=user,
+                timestamp=now,
+                ranked=tuple(ranked),
+                degradation=degradation,
             )
-        with PERF.time_block("link.recency"):
-            recency = self._recency_scores(candidates, now)
-        with PERF.time_block("link.popularity"):
-            popularity = popularity_scores(self._ckb, candidates)
-        with PERF.time_block("link.combine"):
-            ranked = combine_scores(
-                candidates, interest, recency, popularity, self._config
-            )
-        return LinkResult(
-            surface=surface,
-            user=user,
-            timestamp=now,
-            ranked=tuple(ranked),
-            degradation=degradation,
-        )
+            record_link_outcome(root, result, self._config)
+            return result
 
     def link_tweet(self, tweet: Tweet) -> List[MentionResult]:
         """Link every mention of a tweet independently."""

@@ -35,6 +35,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from repro import parallelism
 from repro.core.batch import LinkRequest, MicroBatchLinker
 from repro.core.linker import LinkResult, SocialTemporalLinker
+from repro.obs.metrics import METRICS
 from repro.perf import PERF
 from repro.stream.tweet import Tweet
 
@@ -85,12 +86,22 @@ _WORKER_BATCHER: Optional[MicroBatchLinker] = None
 
 def _link_shard(
     shard: Tuple[Tuple[int, ...], Tuple[LinkRequest, ...]]
-) -> Tuple[Tuple[int, ...], List[LinkResult]]:
+) -> Tuple[Tuple[int, ...], List[LinkResult], Dict[str, object]]:
+    """Link one shard and return its metrics snapshot alongside results.
+
+    The worker-local :data:`~repro.obs.metrics.METRICS` registry is reset
+    per shard so the returned snapshot covers exactly this shard's work;
+    the parent folds every shard snapshot back into its own registry,
+    making merged totals independent of the worker count (every metric
+    recorded in the batch path is partition-invariant by design).
+    """
     global _WORKER_BATCHER
     if _WORKER_BATCHER is None:
         _WORKER_BATCHER = parallelism.payload().batcher()
     indices, requests = shard
-    return indices, _WORKER_BATCHER.link_batch(requests)
+    METRICS.reset()
+    results = _WORKER_BATCHER.link_batch(requests)
+    return indices, results, METRICS.snapshot()
 
 
 class ParallelBatchLinker:
@@ -157,7 +168,8 @@ class ParallelBatchLinker:
         if self._pool is None:
             self._pool = parallelism.WorkerPool(self._spec, self.workers)
         results: List[Optional[LinkResult]] = [None] * len(requests)
-        for indices, linked in self._pool.map(_link_shard, shards):
+        for indices, linked, shard_metrics in self._pool.map(_link_shard, shards):
+            METRICS.merge(shard_metrics)
             for index, result in zip(indices, linked):
                 results[index] = result
         return results  # type: ignore[return-value] — every index filled

@@ -15,6 +15,8 @@ import dataclasses
 from typing import List, Optional
 
 from repro.core.linker import LinkResult, SocialTemporalLinker
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACE
 from repro.text.ner import GazetteerNER, RecognizedMention
 
 
@@ -97,18 +99,25 @@ class TextLinkingPipeline:
         """Recognize and link every mention in ``text``."""
         spans: List[LinkedSpan] = []
         config = self._linker.config
-        for mention in self._ner.recognize(text):
-            result = self._linker.link(mention.surface, user=user, now=now)
-            if self._abstain and result.ranked and not result.degraded:
-                # A degraded result never measured interest, so the
-                # Appendix-D bound (which presumes it was measured as
-                # absent) does not apply — see the same rule in search.
-                kept = result.top_k(config.top_k, threshold=config.no_interest_bound)
-                if not kept:
-                    result = dataclasses.replace(result, ranked=())
-            spans.append(LinkedSpan(mention=mention, result=result))
-            if self._auto_confirm and result.best is not None:
-                self._linker.confirm_link(result.best.entity_id, user, now)
+        METRICS.incr("pipeline.texts")
+        with TRACE.span("pipeline.annotate", user=user) as root:
+            for mention in self._ner.recognize(text):
+                METRICS.incr("pipeline.mentions")
+                result = self._linker.link(mention.surface, user=user, now=now)
+                if self._abstain and result.ranked and not result.degraded:
+                    # A degraded result never measured interest, so the
+                    # Appendix-D bound (which presumes it was measured as
+                    # absent) does not apply — see the same rule in search.
+                    kept = result.top_k(
+                        config.top_k, threshold=config.no_interest_bound
+                    )
+                    if not kept:
+                        result = dataclasses.replace(result, ranked=())
+                spans.append(LinkedSpan(mention=mention, result=result))
+                if self._auto_confirm and result.best is not None:
+                    self._linker.confirm_link(result.best.entity_id, user, now)
+            if root.recording:
+                root.set_attribute("mentions", len(spans))
         return AnnotatedText(text=text, user=user, timestamp=now, spans=spans)
 
     def annotate_stream(self, tweets, use_planted_text: bool = True):

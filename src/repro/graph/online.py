@@ -13,6 +13,7 @@ from typing import Dict
 from repro.config import DEFAULT_MAX_HOPS
 from repro.graph.digraph import DiGraph
 from repro.graph.reachability import weighted_reachability_from
+from repro.obs.trace import TRACE
 from repro.perf import PERF
 
 
@@ -33,7 +34,10 @@ class OnlineReachability:
         row = self._cache.get(source)
         if row is None:
             PERF.incr("online_bfs.miss")
-            row = weighted_reachability_from(self._graph, source, self._max_hops)
+            with TRACE.span("reachability.bfs", source=source) as span:
+                row = weighted_reachability_from(self._graph, source, self._max_hops)
+                if span.recording:
+                    span.set_attribute("reached", len(row))
             self._cache[source] = row
             if len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)

@@ -1,0 +1,290 @@
+"""Trace documents: JSON-lines export, schema validation, field diffs.
+
+The trace document follows the same discipline as ``BENCH_linking.json``
+(:mod:`repro.bench`) and the check report (:mod:`repro.analysis`): a
+``meta.schema_version``, a fixed key set per record, and a
+:func:`validate_trace_document` checker CI runs against every emitted
+file.  Schema changes are append-only within a version; any key removal
+or meaning change bumps :data:`SCHEMA_VERSION` and gets documented in
+``docs/observability.md``.
+
+The on-disk form is JSON lines — one ``meta`` record, then one ``span``
+record per finished span in span-id order, each line serialized with
+sorted keys — so a deterministic workload exports byte-identical files
+run over run, and ``diff`` on two exports localizes drift to a line.
+:func:`diff_trace_documents` goes one step further and names the exact
+span field that moved, which is what the golden-trace regression suite
+prints on failure.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro.obs.trace import Span
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "diff_trace_documents",
+    "dump_trace_jsonl",
+    "load_trace_jsonl",
+    "render_trace_document",
+    "validate_trace_document",
+]
+
+SCHEMA_VERSION = 1
+
+_META_KEYS = ("schema_version", "tool", "scenario", "clock", "span_count")
+_SPAN_KEYS = (
+    "trace_id",
+    "span_id",
+    "parent_id",
+    "name",
+    "start",
+    "end",
+    "attributes",
+    "events",
+)
+_EVENT_KEYS = ("name", "time", "attributes")
+
+
+def render_trace_document(
+    spans: Iterable[Span],
+    tool: str = "repro trace",
+    scenario: Optional[str] = None,
+    clock: str = "tick",
+) -> Dict[str, object]:
+    """Assemble the canonical document from finished spans.
+
+    Spans are ordered by ``span_id`` (creation order) regardless of the
+    completion order the tracer saw, so the document layout is a pure
+    function of the decision structure.
+    """
+    ordered = sorted(spans, key=lambda span: span.span_id)
+    return {
+        "meta": {
+            "schema_version": SCHEMA_VERSION,
+            "tool": tool,
+            "scenario": scenario,
+            "clock": clock,
+            "span_count": len(ordered),
+        },
+        "spans": [span.as_dict() for span in ordered],
+    }
+
+
+def dump_trace_jsonl(document: Dict[str, object]) -> str:
+    """One ``meta`` line, then one ``span`` line per span (sorted keys)."""
+    lines = [json.dumps({"type": "meta", **document["meta"]}, sort_keys=True)]
+    for span in document["spans"]:  # type: ignore[union-attr]
+        lines.append(json.dumps({"type": "span", **span}, sort_keys=True))
+    return "\n".join(lines) + "\n"
+
+
+def load_trace_jsonl(text: str) -> Dict[str, object]:
+    """Parse one JSON-lines trace back into the canonical document."""
+    meta: Optional[Dict[str, object]] = None
+    spans: List[Dict[str, object]] = []
+    for number, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        record = json.loads(line)
+        if not isinstance(record, dict):
+            raise ValueError(f"line {number} is not a JSON object")
+        kind = record.pop("type", None)
+        if kind == "meta":
+            if meta is not None:
+                raise ValueError(f"line {number}: second meta record")
+            meta = record
+        elif kind == "span":
+            spans.append(record)
+        else:
+            raise ValueError(f"line {number}: unknown record type {kind!r}")
+    if meta is None:
+        raise ValueError("trace has no meta record")
+    return {"meta": meta, "spans": spans}
+
+
+# ---------------------------------------------------------------------- #
+# validation
+# ---------------------------------------------------------------------- #
+def validate_trace_document(doc: object) -> List[str]:
+    """Schema *and* structure check; returns problems (empty when valid).
+
+    Beyond key presence, this asserts the well-formedness invariants the
+    tracer guarantees by construction: unique span ids, exactly one root
+    per trace, parents that exist in the same trace, child intervals
+    nested inside their parent's, and event times inside their span.
+    """
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        problems.append("missing or non-object section 'meta'")
+    else:
+        if meta.get("schema_version") != SCHEMA_VERSION:
+            problems.append(
+                f"meta.schema_version is {meta.get('schema_version')!r}, "
+                f"expected {SCHEMA_VERSION}"
+            )
+        for key in _META_KEYS:
+            if key not in meta:
+                problems.append(f"meta.{key} missing")
+    spans = doc.get("spans")
+    if not isinstance(spans, list):
+        problems.append("'spans' must be a list")
+        return problems
+    if isinstance(meta, dict) and meta.get("span_count") != len(spans):
+        problems.append(
+            f"meta.span_count is {meta.get('span_count')!r} but the document "
+            f"has {len(spans)} span(s)"
+        )
+    by_id: Dict[int, Dict[str, object]] = {}
+    for index, span in enumerate(spans):
+        if not isinstance(span, dict):
+            problems.append(f"spans[{index}] is not an object")
+            continue
+        missing = [key for key in _SPAN_KEYS if key not in span]
+        if missing:
+            problems.append(f"spans[{index}] missing {', '.join(missing)}")
+            continue
+        span_id = span["span_id"]
+        if span_id in by_id:
+            problems.append(f"spans[{index}] duplicates span_id {span_id}")
+            continue
+        by_id[span_id] = span  # type: ignore[index]
+        if span["end"] < span["start"]:  # type: ignore[operator]
+            problems.append(f"spans[{index}] ends before it starts")
+        events = span["events"]
+        if not isinstance(events, list):
+            problems.append(f"spans[{index}].events must be a list")
+            continue
+        for position, event in enumerate(events):
+            if not isinstance(event, dict) or any(
+                key not in event for key in _EVENT_KEYS
+            ):
+                problems.append(
+                    f"spans[{index}].events[{position}] missing "
+                    "name/time/attributes"
+                )
+                continue
+            if not span["start"] <= event["time"] <= span["end"]:  # type: ignore[operator]
+                problems.append(
+                    f"spans[{index}].events[{position}] time "
+                    f"{event['time']} outside the span interval"
+                )
+    problems.extend(_check_tree(by_id))
+    return problems
+
+
+def _check_tree(by_id: Dict[int, Dict[str, object]]) -> List[str]:
+    problems: List[str] = []
+    roots: Dict[int, int] = {}
+    for span in by_id.values():
+        trace_id = span["trace_id"]
+        parent_id = span["parent_id"]
+        if parent_id is None:
+            roots[trace_id] = roots.get(trace_id, 0) + 1  # type: ignore[index]
+            continue
+        parent = by_id.get(parent_id)  # type: ignore[arg-type]
+        if parent is None:
+            problems.append(
+                f"span {span['span_id']} has orphan parent_id {parent_id}"
+            )
+            continue
+        if parent["trace_id"] != trace_id:
+            problems.append(
+                f"span {span['span_id']} and its parent {parent_id} "
+                "belong to different traces"
+            )
+        if not (
+            parent["start"] <= span["start"]  # type: ignore[operator]
+            and span["end"] <= parent["end"]  # type: ignore[operator]
+        ):
+            problems.append(
+                f"span {span['span_id']} interval is not nested inside "
+                f"parent {parent_id}"
+            )
+    trace_ids = {span["trace_id"] for span in by_id.values()}
+    for trace_id in trace_ids:
+        count = roots.get(trace_id, 0)  # type: ignore[arg-type]
+        if count != 1:
+            problems.append(
+                f"trace {trace_id} has {count} root span(s), expected exactly 1"
+            )
+    return problems
+
+
+# ---------------------------------------------------------------------- #
+# golden diffing
+# ---------------------------------------------------------------------- #
+def diff_trace_documents(
+    expected: Dict[str, object], actual: Dict[str, object]
+) -> List[str]:
+    """Field-by-field diff between two trace documents, as human-readable
+    problem strings (empty when identical).  ``expected`` is the golden."""
+    diffs: List[str] = []
+    diffs.extend(_diff_mapping("meta", expected.get("meta"), actual.get("meta")))
+    expected_spans = expected.get("spans") or []
+    actual_spans = actual.get("spans") or []
+    if len(expected_spans) != len(actual_spans):  # type: ignore[arg-type]
+        diffs.append(
+            f"span count drifted: golden has {len(expected_spans)}, "  # type: ignore[arg-type]
+            f"live has {len(actual_spans)}"  # type: ignore[arg-type]
+        )
+    for index, (want, got) in enumerate(zip(expected_spans, actual_spans)):  # type: ignore[arg-type]
+        for key in _SPAN_KEYS:
+            if key == "attributes":
+                diffs.extend(
+                    _diff_mapping(
+                        f"spans[{index}].attributes",
+                        want.get(key),
+                        got.get(key),
+                    )
+                )
+            elif key == "events":
+                diffs.extend(
+                    _diff_events(f"spans[{index}]", want.get(key), got.get(key))
+                )
+            elif want.get(key) != got.get(key):
+                diffs.append(
+                    f"spans[{index}].{key}: golden {want.get(key)!r}, "
+                    f"live {got.get(key)!r}"
+                )
+    return diffs
+
+
+def _diff_mapping(label: str, want: object, got: object) -> List[str]:
+    if not isinstance(want, dict) or not isinstance(got, dict):
+        if want != got:
+            return [f"{label}: golden {want!r}, live {got!r}"]
+        return []
+    diffs: List[str] = []
+    for key in sorted(set(want) | set(got)):
+        if key not in want:
+            diffs.append(f"{label}.{key}: not in golden, live {got[key]!r}")
+        elif key not in got:
+            diffs.append(f"{label}.{key}: golden {want[key]!r}, missing live")
+        elif want[key] != got[key]:
+            diffs.append(f"{label}.{key}: golden {want[key]!r}, live {got[key]!r}")
+    return diffs
+
+
+def _diff_events(label: str, want: object, got: object) -> List[str]:
+    want_events: Sequence = want if isinstance(want, list) else ()
+    got_events: Sequence = got if isinstance(got, list) else ()
+    diffs: List[str] = []
+    if len(want_events) != len(got_events):
+        diffs.append(
+            f"{label}.events: golden has {len(want_events)}, "
+            f"live has {len(got_events)}"
+        )
+    for position, (want_event, got_event) in enumerate(
+        zip(want_events, got_events)
+    ):
+        diffs.extend(
+            _diff_mapping(f"{label}.events[{position}]", want_event, got_event)
+        )
+    return diffs

@@ -19,6 +19,8 @@ from typing import Callable, TypeVar
 
 from repro.errors import CircuitOpenError, ReproError
 from repro.log import get_logger
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACE
 
 T = TypeVar("T")
 
@@ -81,6 +83,8 @@ class CircuitBreaker:
         ):
             self._state = BreakerState.HALF_OPEN
             self._successes = 0
+            METRICS.incr("breaker.half_opened")
+            TRACE.event("breaker.half_open")
         return self._state
 
     @property
@@ -101,6 +105,8 @@ class CircuitBreaker:
             self._successes += 1
             if self._successes >= self._success_threshold:
                 self._state = BreakerState.CLOSED
+                METRICS.incr("breaker.closed")
+                TRACE.event("breaker.closed")
                 _log.info("circuit closed after successful probe")
 
     def record_failure(self) -> None:
@@ -119,6 +125,7 @@ class CircuitBreaker:
         ``fn`` while the breaker is open.
         """
         if not self.allow():
+            METRICS.incr("breaker.rejected")
             raise CircuitOpenError(
                 f"circuit open for another "
                 f"{self._recovery_timeout - (self._clock() - self._opened_at):.3f}s"
@@ -145,6 +152,8 @@ class CircuitBreaker:
         self._opened_at = self._clock()
         self._failures = 0
         self._trip_count += 1
+        METRICS.incr("breaker.opened")
+        TRACE.event("breaker.open", reason=reason)
         _log.warning("circuit opened (%s)", reason)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -36,6 +36,8 @@ from repro.errors import (
     is_transient,
 )
 from repro.log import get_logger
+from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACE
 from repro.stream.tweet import MentionSpan, Tweet
 
 T = TypeVar("T")
@@ -262,6 +264,7 @@ class ResilientIngestor:
         record cannot stall the stream.
         """
         self.stats.received += 1
+        METRICS.incr("ingest.received")
         repairs_before = self._validator.repairs
         try:
             tweet = self._validator.validate(record)
@@ -276,17 +279,22 @@ class ResilientIngestor:
             self._dead_letter(record, exc)
             return []
         self.stats.admitted += 1
+        METRICS.incr("ingest.admitted")
         self.stats.repaired += self._validator.repairs - repairs_before
         self._seen.add(tweet.tweet_id)
         heapq.heappush(self._buffer, (tweet.timestamp, tweet.tweet_id, tweet))
         self._max_event_time = max(self._max_event_time, tweet.timestamp)
-        return self._release()
+        released = self._release()
+        METRICS.gauge("ingest.pending", len(self._buffer))
+        return released
 
     def flush(self) -> List[Tweet]:
         """Release every buffered tweet (end of stream / before checkpoint)."""
         released = [item[2] for item in sorted(self._buffer)]
         self._buffer.clear()
         self.stats.emitted += len(released)
+        METRICS.incr("ingest.emitted", len(released))
+        METRICS.gauge("ingest.pending", 0)
         return released
 
     def _release(self) -> List[Tweet]:
@@ -297,11 +305,15 @@ class ResilientIngestor:
         ):
             released.append(heapq.heappop(self._buffer)[2])
         self.stats.emitted += len(released)
+        METRICS.incr("ingest.emitted", len(released))
         return released
 
     def _dead_letter(self, record: RawRecord, error: ReproError) -> None:
         letter = DeadLetter.from_error(record, error)
         self.stats.dead_lettered += 1
+        METRICS.incr("ingest.dead_letters")
+        METRICS.incr("ingest.dead_letters." + letter.reason)
+        TRACE.event("ingest.dead_letter", reason=letter.reason)
         if letter.reason == "duplicate":
             self.stats.duplicates += 1
         elif letter.reason == "stale":
@@ -335,6 +347,7 @@ class ResilientIngestor:
                 ) * self._rng.random()
                 attempt += 1
                 self.stats.retries += 1
+                METRICS.incr("ingest.retries")
                 self.total_backoff += delay
                 _log.info(
                     "transient feed error (attempt %d/%d, backing off %.3fs): %s",

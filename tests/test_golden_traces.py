@@ -1,0 +1,85 @@
+"""Golden-trace regression suite (tests/golden/*.trace.jsonl).
+
+Each committed fixture pins the complete decision record of one
+scenario: span structure, tick timestamps, score attributes, degradation
+events.  Any drift — a reordered stage, a changed score, a lost event —
+fails here with the exact field named.  Regenerate deliberately with
+``repro trace --write-golden`` and review the diff like any other
+behavior change.
+"""
+
+import os
+
+import pytest
+
+from repro.obs.export import (
+    diff_trace_documents,
+    load_trace_jsonl,
+    validate_trace_document,
+)
+from repro.obs.scenarios import SCENARIOS, golden_path, run_scenario
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+
+
+def load_golden(name: str):
+    path = golden_path(GOLDEN_DIR, name)
+    assert os.path.exists(path), (
+        f"golden fixture {path} missing — run `repro trace --write-golden`"
+    )
+    with open(path, "r", encoding="utf-8") as handle:
+        return load_trace_jsonl(handle.read())
+
+
+@pytest.mark.parametrize("name", SCENARIOS)
+class TestGoldenTraces:
+    def test_golden_fixture_is_schema_valid(self, name):
+        assert validate_trace_document(load_golden(name)) == []
+
+    def test_live_trace_matches_golden_field_by_field(self, name):
+        live = run_scenario(name)[0]
+        diffs = diff_trace_documents(load_golden(name), live)
+        assert diffs == [], "\n".join(diffs)
+
+
+class TestGoldenContent:
+    """Pin the load-bearing semantics, independent of the full fixtures."""
+
+    def test_normal_links_basketball_jordan(self):
+        document = load_golden("normal")
+        root = document["spans"][0]
+        assert root["name"] == "link.request"
+        assert root["attributes"]["entity"] == 0  # MJ the basketball player
+        assert root["attributes"]["abstained"] is False
+        assert root["attributes"]["degradation"] is None
+
+    def test_abstention_trace_carries_the_signal(self):
+        root = load_golden("abstention")["spans"][0]
+        assert root["attributes"]["abstained"] is True
+        assert root["attributes"]["degradation"] is None
+        assert root["attributes"]["score"] <= 0.4  # β + γ default bound
+
+    def test_degraded_trace_has_breaker_and_degradation_events(self):
+        document = load_golden("degraded")
+        roots = [s for s in document["spans"] if s["parent_id"] is None]
+        assert [r["attributes"]["degradation"] for r in roots] == [
+            "index_unavailable",
+            "circuit_open",
+        ]
+        event_names = {
+            event["name"] for span in document["spans"] for event in span["events"]
+        }
+        assert "breaker.open" in event_names
+        assert "link.degraded" in event_names
+
+    def test_stage_children_present_in_normal_trace(self):
+        document = load_golden("normal")
+        names = {span["name"] for span in document["spans"]}
+        assert {
+            "link.request",
+            "link.candidates",
+            "link.interest",
+            "link.recency",
+            "link.popularity",
+            "link.combine",
+        } <= names

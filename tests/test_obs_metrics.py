@@ -1,0 +1,188 @@
+"""Metrics registry: histograms, shard merging, perf absorption."""
+
+import pytest
+
+from repro.obs.metrics import (
+    COUNT_BOUNDARIES,
+    LATENCY_BOUNDARIES_S,
+    SCORE_BOUNDARIES,
+    Histogram,
+    MetricsRegistry,
+    render_metrics_document,
+    validate_metrics_document,
+)
+from repro.perf import PerfRegistry
+
+
+class TestHistogram:
+    def test_inclusive_upper_bounds(self):
+        histogram = Histogram((1.0, 2.0))
+        histogram.observe(1.0)  # lands in bucket 0 (<= 1.0)
+        histogram.observe(1.5)  # bucket 1
+        histogram.observe(2.0)  # bucket 1 (<= 2.0)
+        histogram.observe(9.0)  # overflow
+        assert histogram.bucket_counts == [1, 2, 1]
+        assert histogram.count == 4
+
+    def test_bucket_counts_sum_to_count(self):
+        histogram = Histogram(COUNT_BOUNDARIES)
+        for value in (0.0, 3.0, 100.0, 7.5):
+            histogram.observe(value)
+        assert sum(histogram.bucket_counts) == histogram.count == 4
+
+    def test_merge_sums_buckets(self):
+        a, b = Histogram((1.0, 2.0)), Histogram((1.0, 2.0))
+        a.observe(0.5)
+        b.observe(1.5)
+        b.observe(5.0)
+        a.merge(b)
+        assert a.bucket_counts == [1, 1, 1]
+        assert a.count == 3
+
+    def test_merge_rejects_different_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram((1.0,)).merge(Histogram((2.0,)))
+
+    def test_boundaries_must_increase(self):
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram(())
+
+    def test_dict_roundtrip(self):
+        histogram = Histogram(SCORE_BOUNDARIES)
+        histogram.observe(0.42)
+        clone = Histogram.from_dict(histogram.as_dict())
+        assert clone.as_dict() == histogram.as_dict()
+
+    def test_from_dict_rejects_wrong_length(self):
+        payload = Histogram((1.0,)).as_dict()
+        payload["bucket_counts"] = [0, 0, 0]
+        with pytest.raises(ValueError):
+            Histogram.from_dict(payload)
+
+
+class TestRegistry:
+    def test_counters(self):
+        registry = MetricsRegistry()
+        registry.incr("link.requests")
+        registry.incr("link.requests", 4)
+        assert registry.counter("link.requests") == 5
+        assert registry.counter("unknown") == 0
+
+    def test_gauges(self):
+        registry = MetricsRegistry()
+        registry.gauge("ingest.pending", 12)
+        registry.gauge("ingest.pending", 3)
+        assert registry.gauge_value("ingest.pending") == 3.0
+        assert registry.gauge_value("unknown") is None
+
+    def test_observe_binds_boundaries_on_first_use(self):
+        registry = MetricsRegistry()
+        registry.observe("scores", 0.5, boundaries=SCORE_BOUNDARIES)
+        with pytest.raises(ValueError):
+            registry.observe("scores", 0.5, boundaries=COUNT_BOUNDARIES)
+
+    def test_reset(self):
+        registry = MetricsRegistry()
+        registry.incr("c")
+        registry.gauge("g", 1)
+        registry.observe("h", 1.0)
+        registry.reset()
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+
+
+class TestMerge:
+    def test_counters_sum_gauges_max_histograms_merge(self):
+        parent, shard = MetricsRegistry(), MetricsRegistry()
+        parent.incr("link.requests", 2)
+        parent.gauge("pending", 5)
+        parent.observe("sizes", 1.0)
+        shard.incr("link.requests", 3)
+        shard.gauge("pending", 9)
+        shard.observe("sizes", 100.0)
+        parent.merge(shard.snapshot())
+        assert parent.counter("link.requests") == 5
+        assert parent.gauge_value("pending") == 9.0
+        assert parent.histogram("sizes").count == 2
+
+    def test_merge_into_empty_registry(self):
+        shard = MetricsRegistry()
+        shard.incr("x")
+        shard.gauge("g", 2)
+        shard.observe("h", 1.0)
+        parent = MetricsRegistry()
+        parent.merge(shard.snapshot())
+        assert parent.snapshot() == shard.snapshot()
+
+    def test_merge_order_does_not_matter(self):
+        shards = []
+        for count in (1, 2, 3):
+            registry = MetricsRegistry()
+            registry.incr("n", count)
+            registry.gauge("level", count)
+            registry.observe("values", float(count))
+            shards.append(registry.snapshot())
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in shards:
+            forward.merge(snap)
+        for snap in reversed(shards):
+            backward.merge(snap)
+        assert forward.snapshot() == backward.snapshot()
+
+
+class TestAbsorbPerf:
+    def test_counters_copy_with_parity(self):
+        perf = PerfRegistry()
+        perf.incr("online_bfs.hit", 3)
+        perf.incr("online_bfs.miss", 1)
+        registry = MetricsRegistry()
+        registry.absorb_perf(perf)
+        snapshot = perf.snapshot()
+        for name, value in snapshot["counters"].items():
+            assert registry.counter("perf." + name) == value
+
+    def test_timer_samples_become_latency_histograms(self):
+        perf = PerfRegistry()
+        for sample in (0.001, 0.2, 3.0):
+            perf.observe("link.interest", sample)
+        registry = MetricsRegistry()
+        registry.absorb_perf(perf)
+        histogram = registry.histogram("perf.link.interest")
+        assert histogram.boundaries == LATENCY_BOUNDARIES_S
+        assert histogram.count == 3
+        assert sum(histogram.bucket_counts) == 3
+
+
+class TestDocument:
+    def test_render_and_validate(self):
+        registry = MetricsRegistry()
+        registry.incr("link.requests")
+        registry.observe("sizes", 2.0)
+        perf = PerfRegistry()
+        perf.incr("bfs")
+        document = render_metrics_document(registry, perf=perf)
+        assert validate_metrics_document(document) == []
+        assert document["perf"]["counters"] == {"bfs": 1}
+
+    def test_render_without_perf(self):
+        document = render_metrics_document(MetricsRegistry())
+        assert document["perf"] is None
+        assert validate_metrics_document(document) == []
+
+    def test_validator_flags_problems(self):
+        assert validate_metrics_document([]) != []
+        document = render_metrics_document(MetricsRegistry())
+        document["meta"]["schema_version"] = 99
+        assert any("schema_version" in p for p in validate_metrics_document(document))
+
+    def test_validator_flags_bucket_sum_mismatch(self):
+        registry = MetricsRegistry()
+        registry.observe("h", 1.0)
+        document = render_metrics_document(registry)
+        document["metrics"]["histograms"]["h"]["count"] = 5
+        assert any("sum" in p for p in validate_metrics_document(document))

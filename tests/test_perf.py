@@ -28,6 +28,23 @@ class TestPercentile:
         with pytest.raises(ValueError):
             percentile([1.0], -1.0)
 
+    def test_all_equal_samples(self):
+        """Every percentile of a constant distribution is that constant —
+        pinned so the repro.obs migration can assert parity against it."""
+        samples = [4.2] * 9
+        for q in (0.0, 1.0, 50.0, 99.0, 100.0):
+            assert percentile(samples, q) == 4.2
+
+    def test_two_samples_nearest_rank(self):
+        assert percentile([1.0, 2.0], 50.0) == 1.0
+        assert percentile([1.0, 2.0], 51.0) == 2.0
+        assert percentile([1.0, 2.0], 0.0) == 1.0
+        assert percentile([1.0, 2.0], 100.0) == 2.0
+
+    def test_empty_is_zero_at_every_quantile(self):
+        for q in (0.0, 50.0, 100.0):
+            assert percentile([], q) == 0.0
+
 
 class TestCounters:
     def test_incr_creates_and_accumulates(self):
@@ -101,6 +118,21 @@ class TestTimers:
         stats = PerfRegistry().timer_stats("stage")
         assert stats["count"] == 0.0
         assert stats["mean_s"] == 0.0
+
+    def test_timer_stats_single_sample(self):
+        registry = PerfRegistry()
+        registry.observe("stage", 0.5)
+        stats = registry.timer_stats("stage")
+        assert stats["count"] == 1.0
+        assert stats["mean_s"] == stats["p50_s"] == stats["p99_s"] == 0.5
+
+    def test_timer_stats_all_equal_samples(self):
+        registry = PerfRegistry()
+        for _ in range(5):
+            registry.observe("stage", 0.25)
+        stats = registry.timer_stats("stage")
+        assert stats["p50_s"] == stats["p99_s"] == 0.25
+        assert stats["total_s"] == pytest.approx(1.25)
 
 
 class TestSnapshot:
