@@ -17,6 +17,10 @@ only enforced by review:
 * **NUM** — numeric discipline.  Ranking ties decided by ``==`` on
   floats are platform lottery; ties must use exact-zero guards,
   tolerances, or total-order keys.
+* **CACHE** — incremental consistency.  The PR-5 score caches trust
+  epoch counters for invalidation; a mutator that forgets to bump its
+  owning epoch serves stale candidates/popularity/interest silently,
+  breaking the cached≡uncached bit-identity contract.
 * **API** — interface hygiene: mutable defaults, shadowed builtins,
   ``__all__`` in public packages.
 
@@ -34,6 +38,7 @@ from typing import Iterator, Optional, Set
 from repro.analysis.framework import FileContext, Finding, Rule, Severity, register
 
 __all__ = [
+    "EPOCH_MUTATOR_METHODS",
     "MUTATOR_METHODS",
     "PARALLEL_MODULES",
     "SCORING_MODULES",
@@ -59,6 +64,7 @@ SCORING_MODULES = (
     "repro.text",
     "repro.parallelism",
     "repro.obs",
+    "repro.cache",
 )
 
 #: Float-equality scope (NUM-001): where ranking and metrics live.
@@ -80,6 +86,25 @@ SHADOWED_BUILTINS = frozenset(
 #: Methods that mutate a linker/KB/graph snapshot (PAR-002).
 MUTATOR_METHODS = frozenset(
     {"confirm_link", "add_link", "add_edge", "remove_edge", "prune"}
+)
+
+#: Methods that mutate an epoch-versioned structure (CACHE-001).  Any
+#: class in a module that constructs an :class:`repro.cache.epochs.Epoch`
+#: must bump it (directly or by delegating to another mutator here) in
+#: every one of these methods it defines.
+EPOCH_MUTATOR_METHODS = frozenset(
+    {
+        "add_entity",
+        "add_surface_form",
+        "add_hyperlink",
+        "set_description",
+        "link_tweet",
+        "bulk_link",
+        "prune_before",
+        "add_node",
+        "add_edge",
+        "remove_edge",
+    }
 )
 
 #: Stateful module-level functions of the ``random`` module (DET-002).
@@ -482,6 +507,67 @@ class FloatEqualityRule(Rule):
             return False
         segments = name.lower().split("_")
         return any(segment in self._FLOAT_SEGMENTS for segment in segments)
+
+
+# ---------------------------------------------------------------------- #
+# CACHE — incremental consistency
+# ---------------------------------------------------------------------- #
+@register
+class EpochBumpRule(Rule):
+    id = "CACHE-001"
+    severity = Severity.ERROR
+    summary = (
+        "mutators in epoch-owning modules must bump the epoch (or "
+        "delegate to a mutator that does)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        # A module is in scope iff it constructs an Epoch — that is what
+        # makes it the *owner* of structural invalidation.  Modules that
+        # merely wrap an epoch-owning structure (e.g. the dynamic-graph
+        # facade) delegate their mutations and are covered transitively.
+        if not self._owns_epoch(ctx.tree):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if node.name not in EPOCH_MUTATOR_METHODS:
+                continue
+            if self._bumps_or_delegates(node):
+                continue
+            yield self.finding(
+                ctx,
+                node,
+                f"{node.name}() mutates an epoch-versioned structure but "
+                "never bumps the owning epoch; every score-cache entry "
+                "keyed on it silently goes stale — call .bump() on the "
+                "epoch, or delegate to a mutator that does",
+            )
+
+    @staticmethod
+    def _owns_epoch(tree: ast.Module) -> bool:
+        for node in ast.walk(tree):
+            if not isinstance(node, (ast.Assign, ast.AnnAssign)):
+                continue
+            value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            dotted = _dotted(value.func)
+            if dotted is not None and dotted.split(".")[-1] == "Epoch":
+                return True
+        return False
+
+    @staticmethod
+    def _bumps_or_delegates(func: ast.AST) -> bool:
+        for node in ast.walk(func):
+            if not isinstance(node, ast.Call):
+                continue
+            if not isinstance(node.func, ast.Attribute):
+                continue
+            attr = node.func.attr
+            if attr == "bump" or attr in EPOCH_MUTATOR_METHODS:
+                return True
+        return False
 
 
 # ---------------------------------------------------------------------- #

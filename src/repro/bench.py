@@ -10,6 +10,9 @@ of the system, and writes a **schema-stable** ``BENCH_linking.json``:
   replaced (the Fig. 5 inner loop), with an output-equality check;
 * ``single_mention`` — online ``link()`` latency percentiles plus the
   per-stage breakdown from :mod:`repro.perf`;
+* ``single_mention_cached`` — the same workload replayed warm through a
+  ``score_caching`` linker sharing the uncached linker's indexes, with an
+  inline bit-identity check and the score-cache hit rates;
 * ``batch``    — sharded batch-linking throughput per worker count, with
   speedups against the one-worker run measured on the same machine;
 * ``perf``     — the counter/timer snapshot (cache hit rates, BFS counts).
@@ -17,19 +20,25 @@ of the system, and writes a **schema-stable** ``BENCH_linking.json``:
 The workload is fully determined by ``seed``/``smoke``, so successive PRs
 can diff numbers against this baseline on equal hardware.  Wall-clock
 values are measurements, not constants: the schema validator checks shape
-and types, never magnitudes.
+and types, never magnitudes.  Magnitude *comparisons* live in
+:func:`compare_bench_documents`, the CI perf-regression gate: latency
+regressions beyond the tolerance are errors, build-time and throughput
+regressions are warnings (shared runners are too noisy to gate on them).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import json
 import platform
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro import parallelism
+from repro.cache import hit_rate_names
 from repro.config import LinkerConfig
 from repro.core.batch import LinkRequest
+from repro.core.linker import SocialTemporalLinker
 from repro.core.parallel import ParallelBatchLinker
 from repro.core.recency import RecencyPropagationNetwork
 from repro.eval.context import build_experiment
@@ -50,7 +59,7 @@ from repro.stream.profiles import quick_profiles
 
 _log = get_logger(__name__)
 
-SCHEMA_VERSION = 1
+SCHEMA_VERSION = 2
 
 #: section -> required keys; the CI smoke job and the tests validate every
 #: emitted document against this shape.
@@ -75,6 +84,17 @@ _REQUIRED_SECTIONS: Dict[str, Tuple[str, ...]] = {
         "outputs_identical",
     ),
     "single_mention": ("mentions", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "stages"),
+    "single_mention_cached": (
+        "mentions",
+        "mean_ms",
+        "p50_ms",
+        "p95_ms",
+        "p99_ms",
+        "uncached_mean_ms",
+        "speedup_vs_uncached",
+        "outputs_identical",
+        "hit_rates",
+    ),
     "batch": ("requests", "results"),
     "perf": ("counters", "cache_hit_rates", "timers"),
 }
@@ -115,6 +135,108 @@ def validate_bench_document(doc: object) -> List[str]:
                     if key not in row:
                         problems.append(f"batch.results[{index}].{key} missing")
     return problems
+
+
+#: Latency metrics gated as hard errors by :func:`compare_bench_documents`.
+_GATED_LATENCIES: Tuple[Tuple[str, str], ...] = (
+    ("single_mention", "p50_ms"),
+    ("single_mention_cached", "p50_ms"),
+)
+
+#: Absolute slack added to the relative latency gate.  The cached p50
+#: sits near 0.05 ms, where scheduler jitter alone moves a smoke sample
+#: by tens of percent; a regression must clear *both* the relative
+#: tolerance and this floor before it fails the gate.
+_LATENCY_SLACK_MS = 0.05
+
+#: Build-time keys compared warn-only (shared runners are too noisy).
+_BUILD_TIME_KEYS: Tuple[str, ...] = (
+    "transitive_closure_s",
+    "transitive_closure_parallel_s",
+    "two_hop_s",
+    "two_hop_parallel_s",
+    "propagation_network_s",
+)
+
+#: Minimum warm-cache speedup below which the comparison warns.
+_MIN_CACHED_SPEEDUP = 2.0
+
+
+def compare_bench_documents(
+    current: Dict, baseline: Dict, tolerance: float = 0.25
+) -> Tuple[List[str], List[str]]:
+    """Compare a fresh bench run against a committed baseline.
+
+    Returns ``(errors, warnings)``.  Errors fail the CI perf-regression
+    job: an invalid document, a workload mismatch (different seed/smoke —
+    the numbers would not be comparable), a single-mention p50 regression
+    beyond ``tolerance`` (relative), or a cached run whose outputs were
+    not bit-identical to the uncached oracle.  Build-time regressions,
+    lost batch throughput, and a warm-cache speedup below
+    ``2.0`` are warnings only: they track real machines, not the code
+    alone.
+    """
+    if not 0.0 < tolerance:
+        raise ValueError("tolerance must be positive")
+    errors: List[str] = []
+    warnings: List[str] = []
+    for name, doc in (("current", current), ("baseline", baseline)):
+        problems = validate_bench_document(doc)
+        if problems:
+            errors.append(f"{name} document is invalid: {problems}")
+    if errors:
+        return errors, warnings
+    for key in ("seed", "smoke"):
+        if current["meta"][key] != baseline["meta"][key]:
+            errors.append(
+                f"workload mismatch: meta.{key} is {current['meta'][key]!r} "
+                f"vs baseline {baseline['meta'][key]!r}"
+            )
+    if errors:
+        return errors, warnings
+    for section, metric in _GATED_LATENCIES:
+        now = float(current[section][metric])
+        then = float(baseline[section][metric])
+        gate = then * (1.0 + tolerance) + _LATENCY_SLACK_MS
+        if then > 0 and now > gate:
+            errors.append(
+                f"{section}.{metric} regressed {now / then:.2f}x "
+                f"({then} -> {now} ms, tolerance {tolerance:.0%} "
+                f"+ {_LATENCY_SLACK_MS} ms slack)"
+            )
+    if not current["single_mention_cached"]["outputs_identical"]:
+        errors.append(
+            "single_mention_cached.outputs_identical is false: the cached "
+            "path diverged from the uncached oracle"
+        )
+    for key in _BUILD_TIME_KEYS:
+        now = float(current["build"][key])
+        then = float(baseline["build"][key])
+        if then > 0 and now > then * (1.0 + tolerance):
+            warnings.append(
+                f"build.{key} regressed {now / then:.2f}x ({then}s -> {now}s)"
+            )
+    speedup = float(current["single_mention_cached"]["speedup_vs_uncached"])
+    if speedup < _MIN_CACHED_SPEEDUP:
+        warnings.append(
+            f"warm-cache speedup {speedup}x is below the "
+            f"{_MIN_CACHED_SPEEDUP}x target"
+        )
+    then_rows = {
+        row["workers"]: row for row in baseline["batch"]["results"]
+    }
+    for row in current["batch"]["results"]:
+        before = then_rows.get(row["workers"])
+        if before is None:
+            continue
+        now_rps = float(row["throughput_rps"])
+        then_rps = float(before["throughput_rps"])
+        if then_rps > 0 and now_rps < then_rps * (1.0 - tolerance):
+            warnings.append(
+                f"batch throughput at workers={row['workers']} dropped "
+                f"{then_rps} -> {now_rps} rps"
+            )
+    return errors, warnings
 
 
 # ---------------------------------------------------------------------- #
@@ -185,6 +307,80 @@ def _single_mention_bench(linker, requests: Sequence[LinkRequest]) -> Dict:
         "p95_ms": round(percentile(latencies, 95.0) * 1e3, 6),
         "p99_ms": round(percentile(latencies, 99.0) * 1e3, 6),
         "stages": stages,
+    }
+
+
+def _cached_single_mention_bench(context, requests: Sequence[LinkRequest]) -> Dict:
+    """Warm-cache replay vs. the uncached oracle on identical state.
+
+    Both linkers share every heavy structure (ckb, graph, closure,
+    propagation network), differing only in ``score_caching``.  The first
+    pass warms the caches — the steady state a long-running stream linker
+    operates in — and the measured pass times both variants request by
+    request while checking their outputs are bit-identical.
+    """
+    uncached = SocialTemporalLinker(
+        context.ckb,
+        context.world.graph,
+        config=context.config,
+        reachability=context.closure,
+        propagation_network=context.propagation_network,
+    )
+    cached = SocialTemporalLinker(
+        context.ckb,
+        context.world.graph,
+        config=dataclasses.replace(context.config, score_caching=True),
+        reachability=context.closure,
+        propagation_network=context.propagation_network,
+    )
+    for request in requests:  # warm pass
+        cached.link(request.surface, request.user, request.now)
+    counter_names = [
+        prefix + suffix
+        for prefix in sorted(hit_rate_names())
+        for suffix in (".hit", ".miss")
+    ]
+    before = {name: PERF.counter(name) for name in counter_names}
+    cached_latencies: List[float] = []
+    uncached_latencies: List[float] = []
+    identical = True
+    for request in requests:
+        start = time.perf_counter()
+        warm = cached.link(request.surface, request.user, request.now)
+        cached_latencies.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        cold = uncached.link(request.surface, request.user, request.now)
+        uncached_latencies.append(time.perf_counter() - start)
+        if warm.ranked != cold.ranked or warm.degradation != cold.degradation:
+            identical = False
+    hit_rates: Dict[str, float] = {}
+    for prefix in sorted(hit_rate_names()):
+        hits = PERF.counter(prefix + ".hit") - before[prefix + ".hit"]
+        misses = PERF.counter(prefix + ".miss") - before[prefix + ".miss"]
+        total = hits + misses
+        hit_rates[prefix.rsplit(".", 1)[-1]] = (
+            round(hits / total, 6) if total else 0.0
+        )
+    cached_mean = (
+        sum(cached_latencies) / len(cached_latencies) if cached_latencies else 0.0
+    )
+    uncached_mean = (
+        sum(uncached_latencies) / len(uncached_latencies)
+        if uncached_latencies
+        else 0.0
+    )
+    return {
+        "mentions": len(cached_latencies),
+        "mean_ms": round(cached_mean * 1e3, 6),
+        "p50_ms": round(percentile(cached_latencies, 50.0) * 1e3, 6),
+        "p95_ms": round(percentile(cached_latencies, 95.0) * 1e3, 6),
+        "p99_ms": round(percentile(cached_latencies, 99.0) * 1e3, 6),
+        "uncached_mean_ms": round(uncached_mean * 1e3, 6),
+        "speedup_vs_uncached": round(uncached_mean / cached_mean, 3)
+        if cached_mean > 0
+        else 0.0,
+        "outputs_identical": identical,
+        "hit_rates": hit_rates,
     }
 
 
@@ -282,7 +478,9 @@ def run_bench(
         ]
         if smoke:
             requests = requests[:200]
-        single = _single_mention_bench(linker, requests[: 100 if smoke else 400])
+        single_requests = requests[: 100 if smoke else 400]
+        single = _single_mention_bench(linker, single_requests)
+        single_cached = _cached_single_mention_bench(context, single_requests)
         batch = _batch_bench(linker, requests, workers_list)
 
         document = {
@@ -309,6 +507,7 @@ def run_bench(
             "build": build,
             "reachability": reachability,
             "single_mention": single,
+            "single_mention_cached": single_cached,
             "batch": batch,
             "perf": PERF.snapshot(),
         }

@@ -1,0 +1,41 @@
+"""Incremental computation for the scoring hot path (DESIGN.md §10).
+
+Two complementary mechanisms keep warm-stream linking fast without ever
+changing a score:
+
+* **epochs** — monotone version counters owned by the mutable structures
+  (:class:`~repro.kb.knowledgebase.Knowledgebase`,
+  :class:`~repro.kb.complemented.ComplementedKnowledgebase`,
+  :class:`~repro.graph.digraph.DiGraph`); every mutator bumps its owner,
+  so memoized candidate/popularity/interest results invalidate
+  structurally;
+* **delta maintenance** — :class:`~repro.cache.burst.BurstTracker` keeps
+  Eq. 9 sliding-window counts as arrival/expiry deltas, and the Eq. 11
+  propagation memoizes per-cluster fixed points on each cluster's
+  burst-gated input vector, recomputing only clusters whose raw burst
+  input actually changed.
+
+Disabled by default (``LinkerConfig.score_caching``); when enabled the
+output is bit-identical to the uncached path — the uncached code stays
+in place as the parity oracle.
+"""
+
+from __future__ import annotations
+
+from repro.cache.burst import BurstTracker
+from repro.cache.epochs import Epoch
+from repro.cache.scores import (
+    EpochKeyedCache,
+    IncrementalRecency,
+    ScoreCaches,
+    hit_rate_names,
+)
+
+__all__ = [
+    "BurstTracker",
+    "Epoch",
+    "EpochKeyedCache",
+    "IncrementalRecency",
+    "ScoreCaches",
+    "hit_rate_names",
+]

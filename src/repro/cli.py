@@ -164,6 +164,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--metrics-out", default=None,
         help="write the run's metrics document (repro.obs) to this path",
     )
+    stream.add_argument(
+        "--cached", action="store_true",
+        help="enable the incremental score caches (repro.cache); output is "
+        "bit-identical to the uncached path",
+    )
 
     bench = commands.add_parser(
         "bench", help="measure the linking performance baseline"
@@ -184,6 +189,15 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--metrics-out", default=None,
         help="write the run's metrics document (repro.obs) to this path",
+    )
+    bench.add_argument(
+        "--compare", default=None, metavar="BASELINE",
+        help="compare this run against a committed baseline document; "
+        "latency regressions beyond --tolerance exit 1 (the CI perf gate)",
+    )
+    bench.add_argument(
+        "--tolerance", type=float, default=0.25,
+        help="relative regression tolerance for --compare (default 0.25)",
     )
 
     trace = commands.add_parser(
@@ -221,7 +235,7 @@ def build_parser() -> argparse.ArgumentParser:
 
     check = commands.add_parser(
         "check",
-        help="run the project's AST invariant linter (DET/ERR/PAR/NUM/API)",
+        help="run the project's AST invariant linter (DET/ERR/PAR/NUM/CACHE/API)",
     )
     check.add_argument(
         "paths", nargs="*", default=["src"],
@@ -472,6 +486,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     config = context.config
     if args.deadline_ms is not None:
         config = _dc.replace(config, deadline_ms=args.deadline_ms)
+    if args.cached:
+        config = _dc.replace(config, score_caching=True)
     provider = context.closure
     if args.fault_rate > 0.0:
         from repro.testing.faults import FaultSchedule, FlakyReachabilityProvider
@@ -492,6 +508,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         validator=TweetValidator(known_users=range(world.num_users)),
         lateness=args.lateness,
         seen_ids=seen_ids,
+        # the release low-water mark drives sliding-window maintenance off
+        # the per-mention path when the score caches are on
+        advance_hook=linker.caches.pre_advance if linker.caches else None,
     )
 
     tweets = context.test_dataset.tweets
@@ -570,7 +589,9 @@ def _cmd_stream(args: argparse.Namespace) -> int:
 
 
 def _cmd_bench(args: argparse.Namespace) -> int:
-    from repro.bench import run_bench
+    import json as _json
+
+    from repro.bench import compare_bench_documents, run_bench
 
     _metrics_begin(args.metrics_out)
     document = run_bench(
@@ -594,8 +615,28 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         f"single mention: p50 {single['p50_ms']:.3f} ms, "
         f"p99 {single['p99_ms']:.3f} ms over {single['mentions']} mentions"
     )
+    cached = document["single_mention_cached"]
+    check = "identical" if cached["outputs_identical"] else "MISMATCH"
+    print(
+        f"warm score caches: {cached['speedup_vs_uncached']}x vs uncached "
+        f"(p50 {cached['p50_ms']:.3f} ms, outputs {check})"
+    )
     print(f"benchmark written to {args.out}")
     _metrics_write(args.metrics_out, tool="repro bench")
+    if args.compare:
+        with open(args.compare, "r", encoding="utf-8") as handle:
+            baseline = _json.load(handle)
+        errors, warnings = compare_bench_documents(
+            document, baseline, tolerance=args.tolerance
+        )
+        for warning in warnings:
+            print(f"WARN: {warning}")
+        for error in errors:
+            print(f"ERROR: {error}")
+        if errors:
+            print(f"perf regression gate FAILED against {args.compare}")
+            return 1
+        print(f"perf regression gate passed against {args.compare}")
     return 0
 
 

@@ -84,6 +84,14 @@ class LinkerConfig:
     #: A long stream of distinct (entity, candidate-set) keys would
     #: otherwise grow the cache without limit.
     influential_cache_size: int = 4096
+    #: Enable the incremental score caches of :mod:`repro.cache`
+    #: (DESIGN.md §10).  Off by default so baseline runs and golden traces
+    #: are untouched; when on, the linker's output is bit-identical to the
+    #: uncached path.
+    score_caching: bool = False
+    #: Capacity of each epoch-keyed score cache (candidates, popularity,
+    #: interest), LRU-evicted independently.
+    score_cache_size: int = 4096
 
     def __post_init__(self) -> None:
         weights = (self.alpha, self.beta, self.gamma)
@@ -113,6 +121,8 @@ class LinkerConfig:
             raise ValueError("deadline_ms must be positive when set")
         if self.influential_cache_size < 1:
             raise ValueError("influential_cache_size must be at least 1")
+        if self.score_cache_size < 1:
+            raise ValueError("score_cache_size must be at least 1")
 
     def with_weights(self, alpha: float, beta: float, gamma: float) -> "LinkerConfig":
         """Return a copy with the three feature weights replaced."""

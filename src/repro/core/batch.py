@@ -27,7 +27,6 @@ from repro.core.linker import (
     record_degradation,
     record_link_outcome,
 )
-from repro.core.popularity import popularity_scores
 from repro.core.scoring import combine_scores
 from repro.errors import (
     CircuitOpenError,
@@ -96,9 +95,7 @@ class MicroBatchLinker:
                 if candidates is None:
                     METRICS.incr("batch.candidate_cache.miss")
                     with TRACE.span("link.candidates"):
-                        candidates = linker.candidate_generator.candidates(
-                            request.surface
-                        )
+                        candidates = linker._candidate_set(request.surface)
                     candidate_cache[request.surface] = candidates
                 else:
                     METRICS.incr("batch.candidate_cache.hit")
@@ -123,7 +120,7 @@ class MicroBatchLinker:
                 if popularity is None:
                     METRICS.incr("batch.popularity_cache.miss")
                     with TRACE.span("link.popularity"):
-                        popularity = popularity_scores(linker.ckb, candidates)
+                        popularity = linker._popularity_scores(candidates)
                     popularity_cache[request.surface] = popularity
                 else:
                     METRICS.incr("batch.popularity_cache.hit")

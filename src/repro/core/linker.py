@@ -21,6 +21,7 @@ import time
 from collections import OrderedDict
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.cache.scores import ScoreCaches
 from repro.config import DEFAULT_CONFIG, LinkerConfig
 from repro.core.candidates import CandidateGenerator
 from repro.core.influence import top_influential_users
@@ -240,6 +241,16 @@ class SocialTemporalLinker:
         # distinct keys cannot grow it without limit.
         self._influential_cache: "OrderedDict[Tuple[int, Tuple[int, ...]], Tuple[int, List[int]]]" = OrderedDict()
         self._entity_versions: Dict[int, int] = {}
+        # Incremental score caches (DESIGN.md §10): off by default, and
+        # bit-identical to the uncached path when on.
+        self._caches: Optional[ScoreCaches] = None
+        if config.score_caching:
+            self._caches = ScoreCaches(
+                ckb,
+                graph,
+                network=self._propagation if config.recency_propagation else None,
+                config=config,
+            )
 
     # ------------------------------------------------------------------ #
     # properties
@@ -255,6 +266,11 @@ class SocialTemporalLinker:
     @property
     def candidate_generator(self) -> CandidateGenerator:
         return self._candidates
+
+    @property
+    def caches(self) -> Optional[ScoreCaches]:
+        """The score-cache bundle, or ``None`` unless ``score_caching``."""
+        return self._caches
 
     # ------------------------------------------------------------------ #
     # online inference
@@ -272,7 +288,7 @@ class SocialTemporalLinker:
         METRICS.incr("link.requests")
         with TRACE.span("link.request", surface=surface, user=user) as root:
             with TRACE.span("link.candidates"), PERF.time_block("link.candidates"):
-                candidates = self._candidates.candidates(surface)
+                candidates = self._candidate_set(surface)
             METRICS.observe("link.candidates_per_request", float(len(candidates)))
             if root.recording:
                 root.set_attribute("candidates", len(candidates))
@@ -306,7 +322,7 @@ class SocialTemporalLinker:
             with TRACE.span("link.recency"), PERF.time_block("link.recency"):
                 recency = self._recency_scores(candidates, now)
             with TRACE.span("link.popularity"), PERF.time_block("link.popularity"):
-                popularity = popularity_scores(self._ckb, candidates)
+                popularity = self._popularity_scores(candidates)
             with TRACE.span("link.combine"), PERF.time_block("link.combine"):
                 ranked = combine_scores(
                     candidates, interest, recency, popularity, self._config
@@ -373,7 +389,46 @@ class SocialTemporalLinker:
             provider = _DeadlineGuard(provider, deadline, self._clock)
         return provider
 
+    def _candidate_set(self, surface: str) -> Tuple[int, ...]:
+        """Candidate generation, memoized on the KB epoch when caching."""
+        if self._caches is None:
+            return self._candidates.candidates(surface)
+        return self._caches.candidates.lookup(
+            surface,
+            self._caches.candidate_epochs(),
+            lambda: self._candidates.candidates(surface),
+        )
+
+    def _popularity_scores(self, candidates: Sequence[int]) -> Dict[int, float]:
+        """Eq. 2 popularity shares, memoized on the link epoch when caching."""
+        if self._caches is None:
+            return popularity_scores(self._ckb, candidates)
+        return self._caches.popularity.lookup(
+            tuple(candidates),
+            self._caches.popularity_epochs(),
+            lambda: popularity_scores(self._ckb, candidates),
+        )
+
     def _interest_scores(
+        self, user: int, candidates: Sequence[int], provider: ReachabilityProvider
+    ) -> Dict[int, float]:
+        """Eq. 8 interest shares, memoized on (graph, link) epochs.
+
+        A memo hit skips the guarded provider entirely, so under injected
+        reachability faults a cached mention cannot degrade — a documented
+        deviation (the value returned is still exactly what full-fidelity
+        recomputation would produce).  A degraded computation raises before
+        the memo is written, so failures are never cached.
+        """
+        if self._caches is None:
+            return self._compute_interest(user, candidates, provider)
+        return self._caches.interest.lookup(
+            (user, tuple(candidates)),
+            self._caches.interest_epochs(),
+            lambda: self._compute_interest(user, candidates, provider),
+        )
+
+    def _compute_interest(
         self, user: int, candidates: Sequence[int], provider: ReachabilityProvider
     ) -> Dict[int, float]:
         key_suffix = tuple(sorted(candidates))
@@ -414,6 +469,8 @@ class SocialTemporalLinker:
     def _recency_scores(
         self, candidates: Sequence[int], now: float
     ) -> Dict[int, float]:
+        if self._caches is not None:
+            return self._caches.recency.scores(candidates, now)
         if self._propagation is not None and self._config.recency_propagation:
             return propagated_recency(
                 self._ckb,

@@ -86,7 +86,7 @@ _WORKER_BATCHER: Optional[MicroBatchLinker] = None
 
 def _link_shard(
     shard: Tuple[Tuple[int, ...], Tuple[LinkRequest, ...]]
-) -> Tuple[Tuple[int, ...], List[LinkResult], Dict[str, object]]:
+) -> Tuple[Tuple[int, ...], List[LinkResult], Dict[str, object], Dict[str, int]]:
     """Link one shard and return its metrics snapshot alongside results.
 
     The worker-local :data:`~repro.obs.metrics.METRICS` registry is reset
@@ -94,14 +94,35 @@ def _link_shard(
     the parent folds every shard snapshot back into its own registry,
     making merged totals independent of the worker count (every metric
     recorded in the batch path is partition-invariant by design).
+
+    Score-cache hit/miss counters are NOT partition-invariant (two shards
+    may each miss a key a single worker would miss once), which is why
+    they live in :data:`~repro.perf.PERF` instead; their per-shard deltas
+    ride back as the fourth element so ``repro bench`` can report
+    aggregate hit rates for parallel runs too.
     """
     global _WORKER_BATCHER
     if _WORKER_BATCHER is None:
         _WORKER_BATCHER = parallelism.payload().batcher()
     indices, requests = shard
     METRICS.reset()
+    before = {
+        name: PERF.counter(name)
+        for name in _SCORE_CACHE_COUNTERS
+    }
     results = _WORKER_BATCHER.link_batch(requests)
-    return indices, results, METRICS.snapshot()
+    perf_delta = {
+        name: PERF.counter(name) - before[name] for name in _SCORE_CACHE_COUNTERS
+    }
+    return indices, results, METRICS.snapshot(), perf_delta
+
+
+#: PERF counters shuttled from workers back to the parent per shard.
+_SCORE_CACHE_COUNTERS: Tuple[str, ...] = tuple(
+    f"score_cache.{cache}.{event}"
+    for cache in ("candidates", "popularity", "interest", "recency")
+    for event in ("hit", "miss")
+) + ("score_cache.recency.rebuilds",)
 
 
 class ParallelBatchLinker:
@@ -168,8 +189,13 @@ class ParallelBatchLinker:
         if self._pool is None:
             self._pool = parallelism.WorkerPool(self._spec, self.workers)
         results: List[Optional[LinkResult]] = [None] * len(requests)
-        for indices, linked, shard_metrics in self._pool.map(_link_shard, shards):
+        for indices, linked, shard_metrics, perf_delta in self._pool.map(
+            _link_shard, shards
+        ):
             METRICS.merge(shard_metrics)
+            for name, amount in perf_delta.items():
+                if amount:
+                    PERF.incr(name, amount)
             for index, result in zip(indices, linked):
                 results[index] = result
         return results  # type: ignore[return-value] — every index filled

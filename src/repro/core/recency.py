@@ -21,7 +21,7 @@ propagated — the constraint that makes the model fast enough for the
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import parallelism
 from repro.kb.complemented import ComplementedKnowledgebase
@@ -193,6 +193,18 @@ class RecencyPropagationNetwork:
             return [entity_id]
         return list(self._components[index])
 
+    def component_index(self, entity_id: int) -> Optional[int]:
+        """Stable index of the entity's cluster; ``None`` when isolated.
+
+        The incremental recency cache keys its per-cluster fixed points
+        on this index.
+        """
+        return self._component_of.get(entity_id)
+
+    def component_members(self, index: int) -> List[int]:
+        """Members of cluster ``index``, sorted (construction order)."""
+        return self._components[index]
+
     # ------------------------------------------------------------------ #
     # propagation
     # ------------------------------------------------------------------ #
@@ -220,25 +232,48 @@ class RecencyPropagationNetwork:
             scores = {e: initial.get(e, 0.0) for e in component}
             if not any(scores.values()):
                 continue  # nothing to diffuse — the common no-burst case
-            base = dict(scores)
-            for _ in range(self._max_iterations):
-                delta = 0.0
-                fresh: Dict[int, float] = {}
-                for entity_id in component:
-                    incoming = sum(
-                        weight * scores[neighbor]
-                        for neighbor, weight in self._edges.get(entity_id, ())
-                    )
-                    value = (
-                        self._lambda * base[entity_id] + (1.0 - self._lambda) * incoming
-                    )
-                    fresh[entity_id] = value
-                    delta += abs(value - scores[entity_id])
-                scores = fresh
-                if delta < self._tolerance:
-                    break
-            result.update(scores)
+            result.update(self._iterate_component(component, scores))
         return result
+
+    def propagate_component(
+        self, index: int, initial: Dict[int, float]
+    ) -> Dict[int, float]:
+        """Eq. 11 fixed point for a single cluster.
+
+        ``initial`` maps entity → raw recency for members of cluster
+        ``index`` (missing members default to 0).  Same arithmetic as the
+        matching cluster pass inside :meth:`propagate` — the incremental
+        recency cache calls this per dirty cluster and must stay
+        bit-identical to the full recompute.
+        """
+        component = self._components[index]
+        scores = {e: initial.get(e, 0.0) for e in component}
+        if not any(scores.values()):
+            return scores
+        return self._iterate_component(component, scores)
+
+    def _iterate_component(
+        self, component: Sequence[int], scores: Dict[int, float]
+    ) -> Dict[int, float]:
+        """Run the damped iteration on one cluster until convergence."""
+        base = dict(scores)
+        for _ in range(self._max_iterations):
+            delta = 0.0
+            fresh: Dict[int, float] = {}
+            for entity_id in component:
+                incoming = sum(
+                    weight * scores[neighbor]
+                    for neighbor, weight in self._edges.get(entity_id, ())
+                )
+                value = (
+                    self._lambda * base[entity_id] + (1.0 - self._lambda) * incoming
+                )
+                fresh[entity_id] = value
+                delta += abs(value - scores[entity_id])
+            scores = fresh
+            if delta < self._tolerance:
+                break
+        return scores
 
 
 def propagated_recency(

@@ -9,6 +9,8 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, Iterator, List, Sequence, Tuple
 
+from repro.cache.epochs import Epoch
+
 
 class DiGraph:
     """Directed graph over dense integer nodes.
@@ -25,6 +27,9 @@ class DiGraph:
         self._in: List[List[int]] = [[] for _ in range(num_nodes)]
         self._out_sets: List[set] = [set() for _ in range(num_nodes)]
         self._num_edges = 0
+        #: Structure version for ``repro.cache``: every node/edge mutation
+        #: bumps it (CACHE-001), invalidating memoized interest shares.
+        self.epoch = Epoch()
 
     # ------------------------------------------------------------------ #
     # construction
@@ -42,6 +47,7 @@ class DiGraph:
         self._out.append([])
         self._in.append([])
         self._out_sets.append(set())
+        self.epoch.bump()
         return len(self._out) - 1
 
     def add_edge(self, u: int, v: int) -> bool:
@@ -56,6 +62,7 @@ class DiGraph:
         self._out[u].append(v)
         self._in[v].append(u)
         self._num_edges += 1
+        self.epoch.bump()
         return True
 
     def remove_edge(self, u: int, v: int) -> bool:
@@ -66,6 +73,7 @@ class DiGraph:
         self._out[u].remove(v)
         self._in[v].remove(u)
         self._num_edges -= 1
+        self.epoch.bump()
         return True
 
     def has_edge(self, u: int, v: int) -> bool:

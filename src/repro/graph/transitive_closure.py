@@ -32,6 +32,7 @@ import numpy as np
 from repro import parallelism
 from repro.config import DEFAULT_MAX_HOPS
 from repro.graph.digraph import DiGraph
+from repro.obs.trace import TRACE
 from repro.graph.reachability import weighted_reachability, weighted_reachability_from
 from repro.graph.traversal import shortest_path_dag, followees_on_shortest_paths
 
@@ -234,9 +235,29 @@ def build_transitive_closure_parallel(
     to install.  The result matches the incremental builder's values on
     every pair; ``workers=1`` runs in-process with no pool.  Always uses
     the sparse backend — rows arrive as dicts.
+
+    When the schedulable CPU set cannot host a real pool (1-CPU
+    containers) or the graph is below
+    :data:`repro.parallelism.SERIAL_BUILD_THRESHOLD`, the build falls
+    back to the serial in-process path — the rows are identical either
+    way, and the fork/pickle overhead would otherwise dominate.  The
+    fallback is recorded as a ``build.serial_fallback`` trace event.
     """
-    workers = parallelism.resolve_workers(workers)
+    requested = parallelism.resolve_workers(workers)
+    effective = parallelism.effective_workers(workers)
     n = graph.num_nodes
+    workers = requested
+    if requested > 1 and (
+        effective <= 1 or n < parallelism.SERIAL_BUILD_THRESHOLD
+    ):
+        TRACE.event(
+            "build.serial_fallback",
+            builder="transitive_closure",
+            requested_workers=requested,
+            effective_workers=effective,
+            nodes=n,
+        )
+        workers = 1
     sparse: List[Dict[int, float]] = [dict() for _ in range(n)]
     if n == 0:
         return TransitiveClosure(n, max_hops, sparse=sparse)

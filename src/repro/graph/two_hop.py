@@ -33,6 +33,7 @@ from typing import Dict, List, Sequence, Set, Tuple
 from repro import parallelism
 from repro.config import DEFAULT_MAX_HOPS
 from repro.graph.digraph import DiGraph
+from repro.obs.trace import TRACE
 
 #: Sentinel distance for unreachable pairs.
 INF = float("inf")
@@ -206,7 +207,23 @@ def build_two_hop_cover(
     label_out: List[Dict[int, Tuple[int, Set[int]]]] = [dict() for _ in range(n)]
     cover = TwoHopCover(graph, label_in, label_out, max_hops)
     landmarks = _landmark_order(graph, order, seed)
-    workers = parallelism.resolve_workers(workers)
+    requested = parallelism.resolve_workers(workers)
+    effective = parallelism.effective_workers(workers)
+    workers = requested
+    if requested > 1 and (
+        effective <= 1 or n < parallelism.SERIAL_BUILD_THRESHOLD
+    ):
+        # A pool wider than the CPU set (or a small graph) pays fork +
+        # label-snapshot pickling for no concurrency; the sequential
+        # algorithm is strictly faster and yields the same distances.
+        TRACE.event(
+            "build.serial_fallback",
+            builder="two_hop_cover",
+            requested_workers=requested,
+            effective_workers=effective,
+            nodes=n,
+        )
+        workers = 1
     if workers <= 1:
         for landmark in landmarks:
             _backward_bfs(graph, cover, label_out, landmark, max_hops)

@@ -15,12 +15,19 @@ from __future__ import annotations
 
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
+from repro.cache.epochs import Epoch
 from repro.kb.entity import Entity, EntityCategory
 from repro.kb.wlm import wlm_relatedness
 
 
 class Knowledgebase:
-    """Mutable knowledgebase with mention↔entity maps and hyperlinks."""
+    """Mutable knowledgebase with mention↔entity maps and hyperlinks.
+
+    :attr:`epoch` versions the KB structure for ``repro.cache``: every
+    mutator bumps it (enforced by linter rule CACHE-001), so memoized
+    candidate sets invalidate the moment a surface form or entity is
+    added — structurally, with no cache-owner cooperation needed.
+    """
 
     def __init__(self) -> None:
         self._entities: List[Entity] = []
@@ -28,6 +35,7 @@ class Knowledgebase:
         self._descriptions: Dict[int, List[str]] = {}
         self._inlinks: Dict[int, Set[int]] = {}
         self._surfaces_of_entity: Dict[int, List[str]] = {}
+        self.epoch = Epoch()
 
     # ------------------------------------------------------------------ #
     # construction
@@ -64,18 +72,21 @@ class Knowledgebase:
         if entity_id not in candidates:
             candidates.append(entity_id)
             self._surfaces_of_entity[entity_id].append(normalized)
+            self.epoch.bump()
 
     def add_hyperlink(self, source_id: int, target_id: int) -> None:
         """Record a hyperlink from page ``source`` to page ``target``."""
         self._check_entity(source_id)
         self._check_entity(target_id)
-        if source_id != target_id:
+        if source_id != target_id and source_id not in self._inlinks[target_id]:
             self._inlinks[target_id].add(source_id)
+            self.epoch.bump()
 
     def set_description(self, entity_id: int, tokens: Sequence[str]) -> None:
         """Replace the description (page text tokens) of an entity."""
         self._check_entity(entity_id)
         self._descriptions[entity_id] = list(tokens)
+        self.epoch.bump()
 
     # ------------------------------------------------------------------ #
     # lookups

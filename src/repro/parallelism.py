@@ -42,6 +42,23 @@ def resolve_workers(workers: Optional[int]) -> int:
         return os.cpu_count() or 1
 
 
+#: Below this node count the parallel index builders fall back to the
+#: serial path: fork + pickling overhead dominates BFS work on small
+#: graphs, regardless of how many cores are available.
+SERIAL_BUILD_THRESHOLD = 1024
+
+
+def effective_workers(workers: Optional[int]) -> int:
+    """The requested worker count capped at the schedulable CPU set.
+
+    A pool wider than the cores the process may run on cannot execute
+    shards concurrently — it only adds fork and serialization overhead
+    (an order of magnitude on a 1-CPU container).  Parallel builders use
+    this to decide when the serial path is strictly faster.
+    """
+    return min(resolve_workers(workers), resolve_workers(None))
+
+
 def start_method() -> str:
     """``fork`` where available (zero-copy payload), else ``spawn``."""
     return "fork" if "fork" in multiprocessing.get_all_start_methods() else "spawn"

@@ -202,6 +202,14 @@ class ResilientIngestor:
     sleep:
         Injectable sleep for tests; defaults to a no-op accumulator (the
         waits are recorded in :attr:`total_backoff`).
+    advance_hook:
+        Optional callback invoked with the *earliest* timestamp of every
+        non-empty release batch — a stream low-water mark.  The cached
+        linker wires this to
+        :meth:`repro.cache.ScoreCaches.pre_advance` so sliding-window
+        maintenance is amortized off the per-mention path; by release
+        ordering the earliest released timestamp never exceeds any query
+        time in the batch, so the forward-only tracker advance is safe.
     """
 
     def __init__(
@@ -216,6 +224,7 @@ class ResilientIngestor:
         seen_ids: Iterable[int] = (),
         max_dead_letters: int = 10_000,
         sleep: Optional[Callable[[float], None]] = None,
+        advance_hook: Optional[Callable[[float], None]] = None,
     ) -> None:
         if lateness < 0:
             raise ValueError("lateness must be non-negative")
@@ -235,6 +244,7 @@ class ResilientIngestor:
         self._buffer: List[Tuple[float, int, Tweet]] = []
         self._max_event_time = -math.inf
         self._max_dead_letters = max_dead_letters
+        self._advance_hook = advance_hook
         self.dead_letters: List[DeadLetter] = []
         self.stats = IngestStats()
         self.total_backoff = 0.0
@@ -295,6 +305,8 @@ class ResilientIngestor:
         self.stats.emitted += len(released)
         METRICS.incr("ingest.emitted", len(released))
         METRICS.gauge("ingest.pending", 0)
+        if released and self._advance_hook is not None:
+            self._advance_hook(released[0].timestamp)
         return released
 
     def _release(self) -> List[Tweet]:
@@ -306,6 +318,8 @@ class ResilientIngestor:
             released.append(heapq.heappop(self._buffer)[2])
         self.stats.emitted += len(released)
         METRICS.incr("ingest.emitted", len(released))
+        if released and self._advance_hook is not None:
+            self._advance_hook(released[0].timestamp)
         return released
 
     def _dead_letter(self, record: RawRecord, error: ReproError) -> None:

@@ -375,6 +375,107 @@ class TestNumericRules:
         )
 
 
+class TestCacheRules:
+    def test_cache001_flags_mutator_without_bump(self):
+        findings = check_snippet(
+            "CACHE-001",
+            """
+            from repro.cache.epochs import Epoch
+
+            class Store:
+                def __init__(self):
+                    self.epoch = Epoch()
+                    self._links = []
+
+                def link_tweet(self, entity_id, user, timestamp):
+                    self._links.append((entity_id, user, timestamp))
+            """,
+        )
+        assert len(findings) == 1
+        assert findings[0].rule == "CACHE-001"
+        assert "link_tweet" in findings[0].message
+
+    def test_cache001_clean_when_mutator_bumps(self):
+        assert not check_snippet(
+            "CACHE-001",
+            """
+            from repro.cache.epochs import Epoch
+
+            class Store:
+                def __init__(self):
+                    self.epoch = Epoch()
+                    self._links = []
+
+                def link_tweet(self, entity_id, user, timestamp):
+                    self._links.append((entity_id, user, timestamp))
+                    self.epoch.bump()
+            """,
+        )
+
+    def test_cache001_accepts_delegation_to_another_mutator(self):
+        """bulk_link -> link_tweet and add_entity -> add_surface_form are
+        the repo's real shapes: the bump happens one call down."""
+        assert not check_snippet(
+            "CACHE-001",
+            """
+            from repro.cache.epochs import Epoch
+
+            class Store:
+                def __init__(self):
+                    self.epoch = Epoch()
+
+                def link_tweet(self, entity_id, user, timestamp):
+                    self.epoch.bump()
+
+                def bulk_link(self, links):
+                    for entity_id, user, timestamp in links:
+                        self.link_tweet(entity_id, user, timestamp)
+            """,
+        )
+
+    def test_cache001_skips_modules_without_epoch(self):
+        """A facade that wraps an epoch-owning structure is out of scope:
+        its delegated calls bump the owner's epoch transitively."""
+        assert not check_snippet(
+            "CACHE-001",
+            """
+            class Facade:
+                def __init__(self, graph):
+                    self._graph = graph
+
+                def add_edge(self, u, v):
+                    return self._graph.add_edge(u, v)
+
+                def remove_edge(self, u, v):
+                    self._edges.discard((u, v))
+            """,
+        )
+
+    def test_cache001_flags_each_non_bumping_mutator(self):
+        findings = check_snippet(
+            "CACHE-001",
+            """
+            from repro.cache.epochs import Epoch
+
+            class Graph:
+                def __init__(self):
+                    self.epoch = Epoch()
+                    self._edges = set()
+
+                def add_edge(self, u, v):
+                    self._edges.add((u, v))
+
+                def remove_edge(self, u, v):
+                    self._edges.discard((u, v))
+
+                def out_degree(self, u):
+                    return len(self._edges)
+            """,
+        )
+        assert sorted("add_edge" in f.message or "remove_edge" in f.message
+                      for f in findings) == [True, True]
+
+
 class TestApiRules:
     def test_api001_flags_mutable_defaults(self):
         findings = check_snippet(

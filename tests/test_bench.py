@@ -5,7 +5,12 @@ import json
 
 import pytest
 
-from repro.bench import SCHEMA_VERSION, run_bench, validate_bench_document
+from repro.bench import (
+    SCHEMA_VERSION,
+    compare_bench_documents,
+    run_bench,
+    validate_bench_document,
+)
 
 
 @pytest.fixture(scope="module")
@@ -52,6 +57,20 @@ class TestSmokeRun:
         with pytest.raises(ValueError):
             run_bench(smoke=True, workers_list=(2, 4), out=None)
 
+    def test_cached_section_outputs_identical(self, smoke_document):
+        """The warm-cache run replays the same mentions through cached and
+        uncached linkers; any ranked/degradation divergence is recorded."""
+        document, _ = smoke_document
+        cached = document["single_mention_cached"]
+        assert cached["outputs_identical"] is True
+        assert cached["mentions"] > 0
+        assert cached["speedup_vs_uncached"] > 0
+        assert set(cached["hit_rates"]) == {
+            "candidates", "popularity", "interest", "recency",
+        }
+        for rate in cached["hit_rates"].values():
+            assert 0.0 <= rate <= 1.0
+
 
 class TestValidator:
     @pytest.fixture
@@ -88,3 +107,86 @@ class TestValidator:
         assert "batch.results[0].throughput_rps missing" in validate_bench_document(
             valid
         )
+
+    def test_missing_cached_section(self, valid):
+        del valid["single_mention_cached"]
+        assert (
+            "missing or non-object section 'single_mention_cached'"
+            in validate_bench_document(valid)
+        )
+
+
+class TestCompare:
+    """The CI perf-regression gate: errors fail the job, warnings do not."""
+
+    @pytest.fixture
+    def docs(self, smoke_document):
+        document, _ = smoke_document
+        return copy.deepcopy(document), copy.deepcopy(document)
+
+    def test_identical_documents_pass(self, docs):
+        current, baseline = docs
+        errors, _ = compare_bench_documents(current, baseline)
+        assert errors == []
+
+    def test_p50_regression_is_an_error(self, docs):
+        current, baseline = docs
+        current["single_mention"]["p50_ms"] = (
+            baseline["single_mention"]["p50_ms"] * 2.0 + 1.0
+        )
+        errors, _ = compare_bench_documents(current, baseline, tolerance=0.25)
+        assert any("single_mention.p50_ms regressed" in e for e in errors)
+
+    def test_regression_within_tolerance_passes(self, docs):
+        current, baseline = docs
+        current["single_mention"]["p50_ms"] = (
+            baseline["single_mention"]["p50_ms"] * 1.10
+        )
+        errors, _ = compare_bench_documents(current, baseline, tolerance=0.25)
+        assert errors == []
+
+    def test_cached_p50_is_gated_too(self, docs):
+        current, baseline = docs
+        current["single_mention_cached"]["p50_ms"] = (
+            baseline["single_mention_cached"]["p50_ms"] * 3.0 + 1.0
+        )
+        errors, _ = compare_bench_documents(current, baseline)
+        assert any("single_mention_cached.p50_ms" in e for e in errors)
+
+    def test_workload_mismatch_is_an_error(self, docs):
+        current, baseline = docs
+        baseline["meta"]["seed"] = current["meta"]["seed"] + 1
+        errors, _ = compare_bench_documents(current, baseline)
+        assert any("workload mismatch" in e for e in errors)
+
+    def test_output_divergence_is_an_error(self, docs):
+        current, baseline = docs
+        current["single_mention_cached"]["outputs_identical"] = False
+        errors, _ = compare_bench_documents(current, baseline)
+        assert any("outputs_identical" in e for e in errors)
+
+    def test_build_time_regression_only_warns(self, docs):
+        current, baseline = docs
+        current["build"]["transitive_closure_parallel_s"] = (
+            baseline["build"]["transitive_closure_parallel_s"] * 10.0 + 1.0
+        )
+        errors, warnings = compare_bench_documents(current, baseline)
+        assert errors == []
+        assert any("transitive_closure_parallel_s" in w for w in warnings)
+
+    def test_low_speedup_only_warns(self, docs):
+        current, baseline = docs
+        current["single_mention_cached"]["speedup_vs_uncached"] = 1.1
+        errors, warnings = compare_bench_documents(current, baseline)
+        assert errors == []
+        assert any("speedup" in w for w in warnings)
+
+    def test_invalid_baseline_is_an_error(self, docs):
+        current, _ = docs
+        errors, _ = compare_bench_documents(current, {"meta": {}})
+        assert any("baseline document is invalid" in e for e in errors)
+
+    def test_rejects_non_positive_tolerance(self, docs):
+        current, baseline = docs
+        with pytest.raises(ValueError):
+            compare_bench_documents(current, baseline, tolerance=0.0)

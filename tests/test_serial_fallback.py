@@ -1,0 +1,94 @@
+"""Parallel index builders fall back to serial when a pool cannot help.
+
+PR-2 gave the transitive closure and the 2-hop cover multi-process
+builds; on 1-CPU containers (``effective_workers() <= 1``) or graphs
+below :data:`repro.parallelism.SERIAL_BUILD_THRESHOLD` the fork/pickle
+overhead dominates, so the builders now run in-process instead — with
+identical rows (the shards are exact either way) and a
+``build.serial_fallback`` trace event so the decision is observable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import parallelism
+from repro.graph.transitive_closure import (
+    build_transitive_closure_incremental,
+    build_transitive_closure_parallel,
+)
+from repro.graph.two_hop import build_two_hop_cover
+from repro.obs.trace import TRACE
+
+from conftest import random_graph
+
+
+@pytest.fixture(autouse=True)
+def clean_trace():
+    TRACE.reset()
+    TRACE.enable()
+    yield
+    TRACE.reset()
+    TRACE.disable()
+
+
+def _fallback_events():
+    return [
+        event
+        for span in TRACE.drain()
+        for event in span.events
+        if event.name == "build.serial_fallback"
+    ]
+
+
+class TestEffectiveWorkers:
+    def test_capped_by_schedulable_cpus(self):
+        cap = parallelism.resolve_workers(None)
+        assert parallelism.effective_workers(64) == cap
+        assert parallelism.effective_workers(1) == 1
+
+    def test_threshold_is_sane(self):
+        assert parallelism.SERIAL_BUILD_THRESHOLD >= 2
+
+
+class TestClosureFallback:
+    def test_small_graph_falls_back_and_matches(self):
+        graph = random_graph(40, 120, seed=7)
+        parallel = build_transitive_closure_parallel(graph, workers=4)
+        events = _fallback_events()
+        assert len(events) == 1
+        assert events[0].attributes["builder"] == "transitive_closure"
+        assert events[0].attributes["requested_workers"] == 4
+        assert events[0].attributes["nodes"] == 40
+        serial = build_transitive_closure_parallel(graph, workers=1)
+        incremental = build_transitive_closure_incremental(graph)
+        for u in graph.nodes():
+            for v in graph.nodes():
+                assert parallel.reachability(u, v) == serial.reachability(u, v)
+                assert parallel.reachability(u, v) == pytest.approx(
+                    incremental.reachability(u, v)
+                )
+
+    def test_explicit_serial_build_emits_no_event(self):
+        graph = random_graph(20, 40, seed=3)
+        build_transitive_closure_parallel(graph, workers=1)
+        assert _fallback_events() == []
+
+
+class TestTwoHopFallback:
+    def test_small_graph_falls_back_and_matches(self):
+        graph = random_graph(40, 120, seed=9)
+        parallel = build_two_hop_cover(graph, workers=4)
+        events = _fallback_events()
+        assert len(events) == 1
+        assert events[0].attributes["builder"] == "two_hop_cover"
+        assert events[0].attributes["effective_workers"] >= 1
+        serial = build_two_hop_cover(graph, workers=1)
+        for u in graph.nodes():
+            for v in graph.nodes():
+                assert parallel.reachability(u, v) == serial.reachability(u, v)
+
+    def test_explicit_serial_build_emits_no_event(self):
+        graph = random_graph(20, 40, seed=5)
+        build_two_hop_cover(graph, workers=1)
+        assert _fallback_events() == []
