@@ -65,6 +65,11 @@ SCORING_MODULES = (
     "repro.parallelism",
     "repro.obs",
     "repro.cache",
+    # The serving front end is in scope because the load harness promises
+    # byte-identical reports: serve-side time comes from injected clocks
+    # (time.monotonic is passed as a default, never read ad hoc) and all
+    # randomness from seeded random.Random instances.
+    "repro.serve",
 )
 
 #: Float-equality scope (NUM-001): where ranking and metrics live.

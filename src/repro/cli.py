@@ -12,6 +12,9 @@ Subcommands::
     repro check     [src ...] [--strict --format json --baseline base.json]
     repro trace     [--scenario normal|abstention|degraded|all]
                     [--check-golden | --write-golden] [--metrics-out M.json]
+    repro serve     --world world.json.gz [--port 8355 --tenants alpha,beta]
+    repro load      --world world.json.gz [--url http://... --chaos
+                    --requests 2000 --out LOAD_report.json]
 
 ``generate`` builds and persists a synthetic world; the other commands
 load one and run the corresponding piece of the pipeline.  ``stream``
@@ -262,7 +265,108 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="also write the report document to this path",
     )
+
+    serve = commands.add_parser(
+        "serve",
+        help="serve the linker over HTTP/JSON with per-tenant rate limits "
+        "and load-shedding admission control (docs/serving.md)",
+    )
+    serve.add_argument("--world", required=True)
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8355)
+    _add_tenant_arguments(serve)
+    _add_chaos_arguments(serve)
+
+    load = commands.add_parser(
+        "load",
+        help="replay seeded bursty traffic and emit a schema-stable "
+        "latency/error/shed report (deterministic unless --url)",
+    )
+    load.add_argument("--world", required=True)
+    load.add_argument(
+        "--url", default=None,
+        help="base url of a live `repro serve` (e.g. http://127.0.0.1:8355); "
+        "without it the harness runs in-process, fully deterministically",
+    )
+    load.add_argument("--requests", type=int, default=2000)
+    load.add_argument("--seed", type=int, default=11)
+    load.add_argument(
+        "--profile", choices=("diurnal", "spike", "bursty"), default="bursty"
+    )
+    load.add_argument(
+        "--base-rate", type=float, default=200.0,
+        help="mean arrival rate (req/s) before diurnal/spike modulation",
+    )
+    load.add_argument(
+        "--malformed-rate", type=float, default=0.05,
+        help="fraction of requests deliberately malformed/mis-addressed",
+    )
+    load.add_argument(
+        "--service-tick-ms", type=float, default=8.0,
+        help="simulated per-request service cost (in-process mode)",
+    )
+    load.add_argument(
+        "--out", default="LOAD_report.json",
+        help="report document path (schema-stable JSON)",
+    )
+    _add_tenant_arguments(load)
+    _add_chaos_arguments(load)
     return parser
+
+
+def _add_tenant_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--tenants", default="alpha,beta",
+        help="comma-separated tenant names to host",
+    )
+    parser.add_argument(
+        "--tenant-rate", type=float, default=50.0,
+        help="per-tenant sustained admission rate (req/s)",
+    )
+    parser.add_argument(
+        "--tenant-burst", type=float, default=100.0,
+        help="per-tenant token-bucket burst capacity",
+    )
+    parser.add_argument(
+        "--deadline-ms", type=float, default=50.0,
+        help="per-mention latency budget (degrades, never errors)",
+    )
+    parser.add_argument(
+        "--capacity", type=int, default=4,
+        help="concurrent requests the admission controller allows",
+    )
+    parser.add_argument(
+        "--queue-limit", type=int, default=8,
+        help="bounded queue positions beyond --capacity before shedding",
+    )
+    parser.add_argument(
+        "--threshold", type=int, default=10,
+        help="activity threshold of the complementation dataset",
+    )
+
+
+def _add_chaos_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--chaos", action="store_true",
+        help="shorthand for --chaos-error-rate 0.05 --chaos-slow-rate 0.1 "
+        "--chaos-slow-ms 40 (unless overridden)",
+    )
+    parser.add_argument(
+        "--chaos-error-rate", type=float, default=0.0,
+        help="probability a reachability call fails (trips breakers)",
+    )
+    parser.add_argument(
+        "--chaos-slow-rate", type=float, default=0.0,
+        help="probability a reachability call is slow (exhausts deadlines)",
+    )
+    parser.add_argument(
+        "--chaos-slow-ms", type=float, default=0.0,
+        help="latency of a slow reachability call",
+    )
+    parser.add_argument(
+        "--chaos-seed", type=int, default=0,
+        help="seed of the per-tenant fault schedules",
+    )
 
 
 # ---------------------------------------------------------------------- #
@@ -781,6 +885,160 @@ def _cmd_check(args: argparse.Namespace) -> int:
     return report.exit_code(strict=args.strict)
 
 
+# ---------------------------------------------------------------------- #
+# serving front end (docs/serving.md)
+# ---------------------------------------------------------------------- #
+def _chaos_from_args(args: argparse.Namespace):
+    from repro.serve.tenants import ChaosConfig
+
+    error_rate = args.chaos_error_rate
+    slow_rate = args.chaos_slow_rate
+    slow_ms = args.chaos_slow_ms
+    if args.chaos:
+        error_rate = error_rate or 0.05
+        slow_rate = slow_rate or 0.1
+        slow_ms = slow_ms or 40.0
+    return ChaosConfig(
+        error_rate=error_rate,
+        slow_rate=slow_rate,
+        slow_ms=slow_ms,
+        seed=args.chaos_seed,
+    )
+
+
+def _tenant_specs(args: argparse.Namespace):
+    from repro.serve.tenants import TenantSpec
+
+    names = [name.strip() for name in args.tenants.split(",") if name.strip()]
+    return [
+        TenantSpec(
+            name=name,
+            rate=args.tenant_rate,
+            burst=args.tenant_burst,
+            deadline_ms=args.deadline_ms,
+        )
+        for name in names
+    ]
+
+
+def _build_serve_app(args: argparse.Namespace, clock, sleep, defer_release: bool):
+    """Shared wiring of ``repro serve`` and in-process ``repro load``."""
+    from repro.serve.admission import AdmissionController
+    from repro.serve.handlers import ServeApp
+    from repro.serve.tenants import build_tenant_registry
+
+    world = load_world(args.world)
+    registry, context = build_tenant_registry(
+        world,
+        _tenant_specs(args),
+        clock=clock,
+        chaos=_chaos_from_args(args),
+        sleep=sleep,
+        threshold=args.threshold,
+    )
+    admission = AdmissionController(
+        capacity=args.capacity, queue_limit=args.queue_limit
+    )
+    app = ServeApp(
+        registry, admission=admission, clock=clock, defer_release=defer_release
+    )
+    return app, context
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import time as _time
+
+    from repro.serve.server import serve_forever
+
+    chaos = _chaos_from_args(args)
+    app, _ = _build_serve_app(
+        args, clock=_time.monotonic, sleep=_time.sleep if chaos.enabled else None,
+        defer_release=False,
+    )
+    print(
+        f"serving tenants {', '.join(app.registry.names())} "
+        f"on http://{args.host}:{args.port} (chaos={'on' if chaos.enabled else 'off'})"
+    )
+    serve_forever(app, host=args.host, port=args.port)
+    return 0
+
+
+def _cmd_load(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.serve.load import (
+        LoadProfile,
+        VirtualClock,
+        generate_requests,
+        queries_from_dataset,
+        run_http,
+        run_inprocess,
+    )
+    from repro.serve.report import validate_load_document
+
+    chaos = _chaos_from_args(args)
+    chaos_meta = {
+        "enabled": chaos.enabled,
+        "error_rate": chaos.error_rate,
+        "slow_rate": chaos.slow_rate,
+        "slow_ms": chaos.slow_ms,
+        "seed": chaos.seed,
+    }
+    profile = LoadProfile(
+        name=args.profile,
+        base_rate=args.base_rate,
+        malformed_rate=args.malformed_rate,
+    )
+    specs = _tenant_specs(args)
+    if args.url:
+        world = load_world(args.world)
+        queries = queries_from_dataset(
+            build_experiment(world=world, threshold=args.threshold,
+                             complement_method="truth").test_dataset
+        )
+        planned = generate_requests(
+            args.seed, args.requests, profile, [s.name for s in specs], queries
+        )
+        document = run_http(args.url, planned, args.seed, profile, chaos_meta)
+    else:
+        clock = VirtualClock()
+        app, context = _build_serve_app(
+            args, clock=clock, sleep=None, defer_release=True
+        )
+        queries = queries_from_dataset(context.test_dataset)
+        planned = generate_requests(
+            args.seed, args.requests, profile, [s.name for s in specs], queries
+        )
+        document = run_inprocess(
+            app, clock, planned, args.seed, profile, chaos_meta,
+            service_tick_ms=args.service_tick_ms,
+        )
+    problems = validate_load_document(document)
+    with open(args.out, "w", encoding="utf-8") as handle:
+        _json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    outcomes = document["outcomes"]
+    print(format_table(
+        [{"outcome": name, "count": count}
+         for name, count in outcomes.items() if count],
+        title=f"{document['meta']['requests']} requests "
+              f"({document['meta']['mode']}, profile {profile.name}, "
+              f"shed_rate {document['shed_rate']})",
+    ))
+    print(f"report written to {args.out}")
+    if problems:
+        for problem in problems:
+            _log.error("load report schema: %s", problem)
+        return 1
+    if document["unhandled"]:
+        _log.error(
+            "%d unhandled responses (internal or connection errors) — "
+            "the serving layer must degrade, never crash", document["unhandled"],
+        )
+        return 1
+    return 0
+
+
 _HANDLERS = {
     "generate": _cmd_generate,
     "datasets": _cmd_datasets,
@@ -793,6 +1051,8 @@ _HANDLERS = {
     "bench": _cmd_bench,
     "check": _cmd_check,
     "trace": _cmd_trace,
+    "serve": _cmd_serve,
+    "load": _cmd_load,
 }
 
 

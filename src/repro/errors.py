@@ -18,6 +18,10 @@ The taxonomy distinguishes three axes:
   and the circuit breaker decides when to probe again;
 * **state errors** (:class:`CheckpointCorruptError`) — persisted state is
   at fault; recovery falls back to the previous checkpoint or a cold start.
+* **serving rejections** (:class:`ServeError` and subclasses) — the
+  request was refused by the front end (bad input, unknown tenant, rate
+  limit, load shed); each carries an HTTP ``status`` and a schema-stable
+  ``kind`` so ``repro.serve`` renders typed error bodies, never bare 500s.
 
 ``TransientError`` marks the dependency errors that retrying may fix;
 :func:`is_transient` is what the ingestor's retry loop consults.
@@ -86,6 +90,66 @@ class CircuitOpenError(IndexUnavailableError):
 # ---------------------------------------------------------------------- #
 class CheckpointCorruptError(ReproError):
     """A checkpoint failed structural, version, or checksum verification."""
+
+
+# ---------------------------------------------------------------------- #
+# serving-front-end rejections (repro.serve) — every rejection the HTTP
+# layer can emit maps to one of these, so error bodies are always typed:
+# ``status`` is the HTTP status code, ``kind`` the schema-stable
+# ``error.type`` discriminator clients switch on.
+# ---------------------------------------------------------------------- #
+class ServeError(ReproError):
+    """Base class of typed request rejections in ``repro.serve``.
+
+    Subclasses pin ``status``/``kind`` as class attributes; the handler
+    layer renders them into the schema-stable error body without any
+    per-site mapping table.
+    """
+
+    status: int = 503
+    kind: str = "unavailable"
+
+
+class BadRequestError(ServeError):
+    """The request itself is malformed (bad JSON, missing or mistyped
+    fields, out-of-universe user); retrying unchanged cannot succeed."""
+
+    status = 400
+    kind = "bad_request"
+
+
+class UnknownTenantError(ServeError):
+    """The request names a tenant namespace the server does not host."""
+
+    status = 404
+    kind = "unknown_tenant"
+
+
+class NotFoundError(ServeError):
+    """No route matches the request path/method."""
+
+    status = 404
+    kind = "not_found"
+
+
+class RateLimitedError(ServeError):
+    """The tenant's token bucket is empty — per-tenant admission control
+    rejected the request before any work was queued (HTTP 429)."""
+
+    status = 429
+    kind = "rate_limited"
+
+    def __init__(self, message: str, retry_after_s: float = 0.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class OverloadedError(ServeError):
+    """The bounded request queue is full — the admission controller shed
+    the request to protect latency of already-admitted work (HTTP 503)."""
+
+    status = 503
+    kind = "shed"
 
 
 def is_transient(error: BaseException) -> bool:

@@ -31,6 +31,7 @@ import hashlib
 import json
 import math
 import os
+import zlib
 from typing import Dict, FrozenSet, Iterable, Optional, Tuple
 
 from repro.errors import CheckpointCorruptError
@@ -143,7 +144,9 @@ def load_checkpoint(path: str) -> StreamCheckpoint:
         opener = gzip.open if path.endswith(".gz") else open
         with opener(path, "rb") as handle:  # type: ignore[operator]
             document = json.loads(handle.read().decode("utf-8"))
-    except (OSError, ValueError, UnicodeDecodeError) as exc:
+    except (OSError, ValueError, UnicodeDecodeError, EOFError, zlib.error) as exc:
+        # EOFError/zlib.error: a truncated or bit-flipped gzip member ends
+        # before its end-of-stream marker or fails CRC mid-decompress.
         raise CheckpointCorruptError(f"unreadable checkpoint {path!r}: {exc}") from exc
     if not isinstance(document, dict) or document.get("magic") != MAGIC:
         raise CheckpointCorruptError(f"{path!r} is not a repro checkpoint")

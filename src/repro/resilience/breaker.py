@@ -13,9 +13,10 @@ state transitions deterministically without sleeping.
 
 from __future__ import annotations
 
+import collections
 import enum
 import time
-from typing import Callable, TypeVar
+from typing import Callable, Deque, Dict, Optional, TypeVar
 
 from repro.errors import CircuitOpenError, ReproError
 from repro.log import get_logger
@@ -31,6 +32,14 @@ class BreakerState(enum.Enum):
     CLOSED = "closed"
     OPEN = "open"
     HALF_OPEN = "half_open"
+
+
+#: Schema version of :meth:`CircuitBreaker.snapshot` (append-only policy:
+#: new fields may be added, existing ones never renamed or retyped).
+SNAPSHOT_SCHEMA_VERSION = 1
+
+#: Trip reasons kept in the bounded snapshot history (newest last).
+TRIP_HISTORY_LIMIT = 8
 
 
 class CircuitBreaker:
@@ -70,6 +79,7 @@ class CircuitBreaker:
         self._successes = 0
         self._opened_at = 0.0
         self._trip_count = 0
+        self._trip_reasons: Deque[str] = collections.deque(maxlen=TRIP_HISTORY_LIMIT)
 
     # ------------------------------------------------------------------ #
     # introspection
@@ -91,6 +101,34 @@ class CircuitBreaker:
     def trip_count(self) -> int:
         """How many times the breaker has tripped open (for monitoring)."""
         return self._trip_count
+
+    def snapshot(self) -> Dict[str, object]:
+        """Schema-stable state dict for ``/healthz`` and trace exports.
+
+        Under an injected clock the snapshot is fully deterministic:
+        ``time_to_probe_s`` is the remaining open time before the next
+        half-open probe (``None`` unless the breaker is open), and
+        ``trip_reasons`` is the bounded newest-last history of why the
+        breaker opened.  Tests should assert against this instead of
+        parsing ``__repr__``.
+        """
+        state = self.state  # resolves an elapsed recovery timeout first
+        time_to_probe: Optional[float] = None
+        if state is BreakerState.OPEN:
+            remaining = self._recovery_timeout - (self._clock() - self._opened_at)
+            time_to_probe = round(max(0.0, remaining), 9)
+        return {
+            "schema_version": SNAPSHOT_SCHEMA_VERSION,
+            "state": state.value,
+            "trip_count": self._trip_count,
+            "consecutive_failures": self._failures,
+            "half_open_successes": self._successes,
+            "failure_threshold": self._failure_threshold,
+            "success_threshold": self._success_threshold,
+            "recovery_timeout_s": self._recovery_timeout,
+            "time_to_probe_s": time_to_probe,
+            "trip_reasons": list(self._trip_reasons),
+        }
 
     # ------------------------------------------------------------------ #
     # protocol
@@ -152,6 +190,7 @@ class CircuitBreaker:
         self._opened_at = self._clock()
         self._failures = 0
         self._trip_count += 1
+        self._trip_reasons.append(reason)
         METRICS.incr("breaker.opened")
         TRACE.event("breaker.open", reason=reason)
         _log.warning("circuit opened (%s)", reason)

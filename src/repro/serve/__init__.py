@@ -1,0 +1,56 @@
+"""HTTP/JSON serving front end over the resilient linker.
+
+``repro serve`` hosts per-tenant linker namespaces behind a pure-stdlib
+HTTP server with token-bucket rate limits and a load-shedding admission
+controller; ``repro load`` replays seeded bursty traffic against it (or
+against the in-process app, deterministically) and emits a schema-stable
+report.  See ``docs/serving.md``.
+"""
+
+from repro.serve.admission import AdmissionController
+from repro.serve.handlers import ServeApp, error_body
+from repro.serve.load import (
+    LoadProfile,
+    VirtualClock,
+    generate_requests,
+    queries_from_dataset,
+    run_http,
+    run_inprocess,
+)
+from repro.serve.report import (
+    LOAD_SCHEMA_VERSION,
+    build_load_document,
+    validate_load_document,
+)
+from repro.serve.server import ReproHTTPServer, serve_forever
+from repro.serve.tenants import (
+    ChaosConfig,
+    Tenant,
+    TenantRegistry,
+    TenantSpec,
+    TokenBucket,
+    build_tenant_registry,
+)
+
+__all__ = [
+    "AdmissionController",
+    "ChaosConfig",
+    "LOAD_SCHEMA_VERSION",
+    "LoadProfile",
+    "ReproHTTPServer",
+    "ServeApp",
+    "Tenant",
+    "TenantRegistry",
+    "TenantSpec",
+    "TokenBucket",
+    "VirtualClock",
+    "build_load_document",
+    "build_tenant_registry",
+    "error_body",
+    "generate_requests",
+    "queries_from_dataset",
+    "run_http",
+    "run_inprocess",
+    "serve_forever",
+    "validate_load_document",
+]

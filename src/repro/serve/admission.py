@@ -1,0 +1,93 @@
+"""Admission control: bounded concurrency with load shedding.
+
+The serving layer protects itself in two stages.  Per-tenant token
+buckets (:mod:`repro.serve.tenants`) bound each tenant's *rate*; the
+:class:`AdmissionController` here bounds the server's total *in-flight
+work*.  A request that passes its bucket but finds all slots and queue
+positions taken is **shed** with a typed
+:class:`~repro.errors.OverloadedError` (HTTP 503) — overload degrades
+into fast, well-formed rejections instead of unbounded queueing or
+crashes.
+
+The controller tracks occupancy as an explicit counter rather than a
+semaphore so the deterministic load harness can drive it from a single
+thread (admit at arrival, release at simulated completion) and so
+``snapshot()`` can report exact state.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict
+
+from repro.errors import OverloadedError
+from repro.obs.metrics import METRICS
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Counting admission gate: ``capacity`` concurrent slots plus a
+    bounded wait queue of ``queue_limit`` positions.
+
+    ``admit()`` either takes a position (slot or queue) or raises
+    :class:`OverloadedError`; every successful ``admit()`` must be paired
+    with exactly one ``release()``.  The live HTTP server releases in a
+    ``finally``; the load harness releases when the simulated service
+    completes.
+    """
+
+    def __init__(self, capacity: int = 8, queue_limit: int = 16) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be non-negative")
+        self._capacity = capacity
+        self._queue_limit = queue_limit
+        self._pending = 0
+        self._lock = threading.Lock()
+        self.admitted = 0
+        self.shed = 0
+        self.peak_pending = 0
+
+    def admit(self) -> None:
+        """Take a slot/queue position or shed with a typed 503."""
+        with self._lock:
+            if self._pending >= self._capacity + self._queue_limit:
+                self.shed += 1
+                METRICS.incr("serve.shed")
+                raise OverloadedError(
+                    f"server at capacity ({self._pending} in flight, "
+                    f"limit {self._capacity}+{self._queue_limit})"
+                )
+            self._pending += 1
+            self.admitted += 1
+            if self._pending > self.peak_pending:
+                self.peak_pending = self._pending
+            METRICS.incr("serve.admitted")
+            METRICS.gauge("serve.pending", float(self._pending))
+
+    def release(self) -> None:
+        """Return a position taken by a prior successful :meth:`admit`."""
+        with self._lock:
+            if self._pending <= 0:
+                raise ValueError("release() without a matching admit()")
+            self._pending -= 1
+            METRICS.gauge("serve.pending", float(self._pending))
+
+    @property
+    def pending(self) -> int:
+        with self._lock:
+            return self._pending
+
+    def snapshot(self) -> Dict[str, object]:
+        """Schema-stable occupancy state for ``/healthz``."""
+        with self._lock:
+            return {
+                "capacity": self._capacity,
+                "queue_limit": self._queue_limit,
+                "pending": self._pending,
+                "peak_pending": self.peak_pending,
+                "admitted": self.admitted,
+                "shed": self.shed,
+            }

@@ -1,0 +1,234 @@
+"""Transport-independent request dispatch for the serving front end.
+
+:class:`ServeApp` maps ``(method, path, body)`` to ``(status, document)``
+— no sockets, no threads.  The HTTP server (:mod:`repro.serve.server`)
+and the deterministic load harness (:mod:`repro.serve.load`) both drive
+this one dispatcher, so everything the acceptance criteria care about
+(typed error bodies, shed semantics, degradation) is exercised
+identically with and without a real network.
+
+Error contract: every failure the app can produce is rendered by
+:func:`error_body` from a typed :class:`~repro.errors.ServeError` (or a
+generic :class:`~repro.errors.ReproError`, mapped to ``unavailable``).
+The body schema is append-only::
+
+    {"schema_version": 1,
+     "error": {"type": "<kind>", "status": <int>, "message": "<str>",
+               "retry_after_s": <float, 429 only>}}
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.config import LinkerConfig
+from repro.core.linker import LinkResult
+from repro.errors import (
+    BadRequestError,
+    NotFoundError,
+    RateLimitedError,
+    ReproError,
+    ServeError,
+)
+from repro.obs.metrics import METRICS, render_metrics_document
+from repro.serve.admission import AdmissionController
+from repro.serve.tenants import Tenant, TenantRegistry
+
+__all__ = ["ServeApp", "ERROR_SCHEMA_VERSION", "LINK_SCHEMA_VERSION", "error_body"]
+
+#: Schema versions of the response documents (append-only policy).
+ERROR_SCHEMA_VERSION = 1
+LINK_SCHEMA_VERSION = 1
+HEALTH_SCHEMA_VERSION = 1
+
+Response = Tuple[int, Dict[str, object]]
+
+
+def error_body(error: ReproError) -> Response:
+    """Render any taxonomy error as a typed, schema-stable body."""
+    if isinstance(error, ServeError):
+        status, kind = error.status, error.kind
+    else:
+        # A ReproError escaping the linker's own degradation machinery is
+        # a dependency problem, not a client problem.
+        status, kind = 503, "unavailable"
+    payload: Dict[str, object] = {
+        "type": kind,
+        "status": status,
+        "message": str(error),
+    }
+    if isinstance(error, RateLimitedError):
+        payload["retry_after_s"] = round(error.retry_after_s, 9)
+    return status, {"schema_version": ERROR_SCHEMA_VERSION, "error": payload}
+
+
+class ServeApp:
+    """The application behind ``repro serve``.
+
+    Routes
+    ------
+    * ``POST /v1/link`` — link one mention; body
+      ``{"tenant", "surface", "user", "now"?, "top_k"?}``.
+    * ``GET /healthz`` — admission, tenant, breaker and queue snapshots.
+    * ``GET /metrics`` — the standard metrics document off ``repro.obs``.
+    * ``GET /v1/tenants`` — hosted tenant names.
+
+    ``clock`` feeds default mention timestamps and the rate/admission
+    machinery; the load harness injects a virtual clock, the live CLI
+    passes ``time.monotonic``.  When ``defer_release`` is true,
+    ``handle()`` does *not* release the admission slot for admitted link
+    requests — the caller releases at simulated completion time, which is
+    how the harness models requests that occupy the server for their full
+    service time.
+    """
+
+    def __init__(
+        self,
+        registry: TenantRegistry,
+        admission: Optional[AdmissionController] = None,
+        clock: Callable[[], float] = time.monotonic,
+        defer_release: bool = False,
+    ) -> None:
+        self.registry = registry
+        self.admission = admission or AdmissionController()
+        self._clock = clock
+        self._defer_release = defer_release
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    def handle(self, method: str, path: str, body: Optional[bytes] = None) -> Response:
+        """Route one request; never raises for request-shaped problems.
+
+        Any :class:`ReproError` becomes a typed error body; non-taxonomy
+        exceptions propagate (the transport layer turns those into the
+        ``internal`` body and the load report counts them as unhandled —
+        the invariant under test is that chaos never produces any).
+        """
+        try:
+            if method == "GET" and path == "/healthz":
+                return self._healthz()
+            if method == "GET" and path == "/metrics":
+                return 200, render_metrics_document(METRICS, tool="repro serve")
+            if method == "GET" and path == "/v1/tenants":
+                return 200, {
+                    "schema_version": HEALTH_SCHEMA_VERSION,
+                    "tenants": self.registry.names(),
+                }
+            if method == "POST" and path == "/v1/link":
+                return self._link(body)
+            raise NotFoundError(f"no route for {method} {path}")
+        except ReproError as error:
+            status, document = error_body(error)
+            METRICS.incr(f"serve.error.{document['error']['type']}")
+            return status, document
+
+    # ------------------------------------------------------------------ #
+    # routes
+    # ------------------------------------------------------------------ #
+    def _healthz(self) -> Response:
+        return 200, {
+            "schema_version": HEALTH_SCHEMA_VERSION,
+            "status": "ok",
+            "admission": self.admission.snapshot(),
+            "tenants": self.registry.snapshot(),
+        }
+
+    def _link(self, body: Optional[bytes]) -> Response:
+        request = _parse_link_request(body)
+        tenant = self.registry.get(str(request["tenant"]))
+        tenant.requests += 1
+        if not tenant.bucket.try_acquire():
+            tenant.ratelimited += 1
+            METRICS.incr("serve.ratelimited")
+            raise RateLimitedError(
+                f"tenant {tenant.name!r} over its rate limit",
+                retry_after_s=tenant.bucket.retry_after(),
+            )
+        self.admission.admit()
+        try:
+            response = self._link_admitted(tenant, request)
+        except Exception:  # repro: noqa[ERR-002] -- slot bookkeeping only: the slot is returned and the exception re-raised untouched, whatever its type
+            self.admission.release()
+            raise
+        if not self._defer_release:
+            self.admission.release()
+        return response
+
+    def _link_admitted(self, tenant: Tenant, request: Dict[str, object]) -> Response:
+        user = _require_int(request, "user")
+        if not 0 <= user < tenant.num_users:
+            raise BadRequestError(
+                f"user {user} outside universe [0, {tenant.num_users})"
+            )
+        surface = str(request["surface"])
+        now = float(request.get("now", self._clock()))
+        if now != now or now in (float("inf"), float("-inf")):
+            raise BadRequestError("'now' must be a finite number")
+        top_k = _require_int(request, "top_k", default=3)
+        if top_k < 1:
+            raise BadRequestError("'top_k' must be at least 1")
+        result = tenant.linker.link(surface, user, now)
+        return 200, _render_link(tenant, result, top_k)
+
+
+def _parse_link_request(body: Optional[bytes]) -> Dict[str, object]:
+    if not body:
+        raise BadRequestError("empty request body")
+    try:
+        request = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise BadRequestError(f"body is not valid JSON: {error}") from error
+    if not isinstance(request, dict):
+        raise BadRequestError("body must be a JSON object")
+    for field in ("tenant", "surface", "user"):
+        if field not in request:
+            raise BadRequestError(f"missing required field {field!r}")
+    if not str(request["surface"]).strip():
+        raise BadRequestError("'surface' must be a non-empty string")
+    for field in ("now", "top_k"):
+        if field in request and not isinstance(request[field], (int, float)):
+            raise BadRequestError(f"{field!r} must be a number")
+    return request
+
+
+def _require_int(
+    request: Dict[str, object], field: str, default: Optional[int] = None
+) -> int:
+    value = request.get(field, default)
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise BadRequestError(f"{field!r} must be an integer")
+    if float(value) != int(value):
+        raise BadRequestError(f"{field!r} must be an integer")
+    return int(value)
+
+
+def _render_link(tenant: Tenant, result: LinkResult, top_k: int) -> Dict[str, object]:
+    config: LinkerConfig = tenant.linker.config
+    selected = result.top_k(top_k, threshold=config.no_interest_bound)
+    best = selected[0] if selected else None
+    # Degradation dominates the outcome label: a degraded score tops out
+    # at β+γ — exactly the no-interest bound — so the candidate list is
+    # usually empty and the interesting fact is *why* (Appendix D), not
+    # that the bound did its job.
+    if result.degraded:
+        outcome = "degraded"
+    elif best is None:
+        outcome = "abstained"
+    else:
+        outcome = "ok"
+    METRICS.incr(f"serve.link.{outcome}")
+    return {
+        "schema_version": LINK_SCHEMA_VERSION,
+        "tenant": tenant.name,
+        "surface": result.surface,
+        "outcome": outcome,
+        "degradation": result.degradation,
+        "entity": None if best is None else best.entity_id,
+        "score": None if best is None else round(best.score, 9),
+        "candidates": [
+            {"entity": c.entity_id, "score": round(c.score, 9)} for c in selected
+        ],
+    }

@@ -21,11 +21,23 @@ the fault-injection tests can replay exact failure schedules.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import heapq
 import math
 import random
-from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple, TypeVar, Union
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Set,
+    Tuple,
+    TypeVar,
+    Union,
+)
 
 from repro.errors import (
     DuplicateTweetError,
@@ -77,6 +89,7 @@ class IngestStats:
     repaired: int = 0
     emitted: int = 0
     dead_lettered: int = 0
+    dead_letter_evictions: int = 0
     duplicates: int = 0
     stale: int = 0
     retries: int = 0
@@ -243,9 +256,11 @@ class ResilientIngestor:
         self._seen: Set[int] = set(seen_ids)
         self._buffer: List[Tuple[float, int, Tweet]] = []
         self._max_event_time = -math.inf
+        if max_dead_letters < 1:
+            raise ValueError("max_dead_letters must be positive")
         self._max_dead_letters = max_dead_letters
         self._advance_hook = advance_hook
-        self.dead_letters: List[DeadLetter] = []
+        self.dead_letters: Deque[DeadLetter] = collections.deque()
         self.stats = IngestStats()
         self.total_backoff = 0.0
 
@@ -322,6 +337,19 @@ class ResilientIngestor:
             self._advance_hook(released[0].timestamp)
         return released
 
+    def drain(self) -> List[DeadLetter]:
+        """Hand off (and clear) the retained dead letters, oldest first.
+
+        This is the supported way to consume the queue — an operator's
+        re-ingestion or archival job drains it periodically; letters that
+        overflowed :attr:`_max_dead_letters` before a drain are already
+        gone (evicted oldest-first, counted in
+        ``stats.dead_letter_evictions``).
+        """
+        letters = list(self.dead_letters)
+        self.dead_letters.clear()
+        return letters
+
     def _dead_letter(self, record: RawRecord, error: ReproError) -> None:
         letter = DeadLetter.from_error(record, error)
         self.stats.dead_lettered += 1
@@ -332,8 +360,14 @@ class ResilientIngestor:
             self.stats.duplicates += 1
         elif letter.reason == "stale":
             self.stats.stale += 1
-        if len(self.dead_letters) < self._max_dead_letters:
-            self.dead_letters.append(letter)
+        # Bounded retention with *explicit* overflow: evict the oldest
+        # letter (the one least likely to still matter) and say so in the
+        # metrics, instead of silently refusing to record new failures.
+        if len(self.dead_letters) >= self._max_dead_letters:
+            self.dead_letters.popleft()
+            self.stats.dead_letter_evictions += 1
+            METRICS.incr("ingest.dead_letters.evicted")
+        self.dead_letters.append(letter)
         _log.warning("dead-lettered record (%s): %s", letter.reason, letter.error)
 
     # ------------------------------------------------------------------ #

@@ -87,6 +87,12 @@ class FlakyReachabilityProvider:
     ``latency`` seconds are added to ``clock`` on *every* call (faulting
     or not) when a clock is given — that is how deadline-budget tests
     simulate a slow index without real sleeping.
+
+    ``slow_schedule`` injects *intermittent* slowness on top: when it
+    fires, ``slow_latency`` seconds are added to ``clock`` (if given) and
+    passed to ``sleep`` (if given).  A deterministic harness wires the
+    clock; a live chaos run against a real server wires ``time.sleep`` —
+    the schedule itself stays seeded either way.
     """
 
     def __init__(
@@ -96,18 +102,35 @@ class FlakyReachabilityProvider:
         clock: Optional[FakeClock] = None,
         latency: float = 0.0,
         error: Callable[[str], Exception] = IndexUnavailableError,
+        slow_schedule: Optional[FaultSchedule] = None,
+        slow_latency: float = 0.0,
+        sleep: Optional[Callable[[float], None]] = None,
     ) -> None:
         self._inner = inner
         self._schedule = schedule or FaultSchedule()
         self._clock = clock
         self._latency = latency
         self._error = error
+        self._slow_schedule = slow_schedule
+        self._slow_latency = slow_latency
+        self._sleep = sleep
         self.calls = 0
+        self.slow_calls = 0
 
     def reachability(self, source: int, target: int) -> float:
         self.calls += 1
         if self._clock is not None and self._latency > 0.0:
             self._clock.advance(self._latency)
+        if (
+            self._slow_schedule is not None
+            and self._slow_latency > 0.0
+            and self._slow_schedule.should_fault()
+        ):
+            self.slow_calls += 1
+            if self._clock is not None:
+                self._clock.advance(self._slow_latency)
+            if self._sleep is not None:
+                self._sleep(self._slow_latency)
         if self._schedule.should_fault():
             raise self._error(f"injected reachability fault ({source}->{target})")
         return self._inner.reachability(source, target)

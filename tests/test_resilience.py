@@ -749,3 +749,218 @@ class TestDefaultsUnchanged:
 
         run_wired = SocialTemporalAdapter(wired).run(small_context.test_dataset)
         assert run_plain.predictions == run_wired.predictions
+
+
+# ---------------------------------------------------------------------- #
+# breaker snapshot (typed introspection instead of __repr__ parsing)
+# ---------------------------------------------------------------------- #
+class TestBreakerSnapshot:
+    EXPECTED_KEYS = {
+        "schema_version", "state", "trip_count", "consecutive_failures",
+        "half_open_successes", "failure_threshold", "success_threshold",
+        "recovery_timeout_s", "time_to_probe_s", "trip_reasons",
+    }
+
+    def test_closed_snapshot_shape(self):
+        snap = CircuitBreaker(clock=FakeClock()).snapshot()
+        assert set(snap) == self.EXPECTED_KEYS
+        assert snap["schema_version"] == 1
+        assert snap["state"] == "closed"
+        assert snap["trip_count"] == 0
+        assert snap["time_to_probe_s"] is None
+        assert snap["trip_reasons"] == []
+
+    def test_open_snapshot_counts_down_to_probe(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_timeout=10.0, clock=clock
+        )
+        breaker.record_failure()
+        assert breaker.snapshot()["state"] == "open"
+        assert breaker.snapshot()["time_to_probe_s"] == 10.0
+        clock.advance(7.5)
+        snap = breaker.snapshot()
+        assert snap["time_to_probe_s"] == 2.5
+        assert snap["trip_count"] == 1
+        assert snap["trip_reasons"] == ["1 consecutive failures"]
+
+    def test_snapshot_resolves_elapsed_timeout_to_half_open(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_timeout=5.0, clock=clock
+        )
+        breaker.record_failure()
+        clock.advance(5.0)
+        snap = breaker.snapshot()
+        assert snap["state"] == "half_open"
+        assert snap["time_to_probe_s"] is None
+
+    def test_trip_reason_history_is_bounded_newest_last(self):
+        from repro.resilience.breaker import TRIP_HISTORY_LIMIT
+
+        clock = FakeClock()
+        breaker = CircuitBreaker(
+            failure_threshold=1, recovery_timeout=1.0, clock=clock
+        )
+        trips = TRIP_HISTORY_LIMIT + 3
+        for _ in range(trips):
+            clock.advance(1.0)
+            assert breaker.state is not BreakerState.OPEN
+            breaker.record_failure()  # half-open probe failure re-trips
+        snap = breaker.snapshot()
+        assert snap["trip_count"] == trips
+        assert len(snap["trip_reasons"]) == TRIP_HISTORY_LIMIT
+        assert snap["trip_reasons"][-1] == "probe failed"
+
+    def test_snapshot_is_json_round_trippable(self):
+        import json
+
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, clock=clock)
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert json.loads(json.dumps(snap, sort_keys=True)) == snap
+
+
+# ---------------------------------------------------------------------- #
+# dead-letter overflow (bounded queue, oldest evicted first)
+# ---------------------------------------------------------------------- #
+class TestDeadLetterOverflow:
+    @staticmethod
+    def bad_record(index):
+        # empty text is irreparable -> MalformedTweetError -> dead letter
+        return {"tweet_id": index, "user": 0, "timestamp": 1.0, "text": "   "}
+
+    def test_overflow_evicts_oldest_and_counts(self):
+        ingestor = ResilientIngestor(max_dead_letters=3)
+        for index in range(5):
+            assert ingestor.push(self.bad_record(index)) == []
+        assert len(ingestor.dead_letters) == 3
+        kept = [letter.record["tweet_id"] for letter in ingestor.dead_letters]
+        assert kept == [2, 3, 4]  # 0 and 1 were evicted, oldest first
+        assert ingestor.stats.dead_lettered == 5
+        assert ingestor.stats.dead_letter_evictions == 2
+
+    def test_exactly_at_capacity_keeps_everything(self):
+        ingestor = ResilientIngestor(max_dead_letters=3)
+        for index in range(3):
+            ingestor.push(self.bad_record(index))
+        assert len(ingestor.dead_letters) == 3
+        assert ingestor.stats.dead_letter_evictions == 0
+
+    def test_eviction_metric_emitted(self):
+        from repro.obs.metrics import METRICS
+
+        METRICS.reset()
+        ingestor = ResilientIngestor(max_dead_letters=1)
+        ingestor.push(self.bad_record(0))
+        ingestor.push(self.bad_record(1))
+        assert METRICS.counter("ingest.dead_letters.evicted") == 1
+
+    def test_drain_returns_and_clears(self):
+        ingestor = ResilientIngestor(max_dead_letters=2)
+        ingestor.push(self.bad_record(0))
+        ingestor.push(self.bad_record(1))
+        drained = ingestor.drain()
+        assert [letter.record["tweet_id"] for letter in drained] == [0, 1]
+        assert all(isinstance(letter, DeadLetter) for letter in drained)
+        assert len(ingestor.dead_letters) == 0
+        assert ingestor.drain() == []
+        # the counter survives the drain: it tracks loss, not occupancy
+        assert ingestor.stats.dead_lettered == 2
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResilientIngestor(max_dead_letters=0)
+
+
+# ---------------------------------------------------------------------- #
+# checkpoint corruption matrix: truncations and bit flips must always
+# surface as CheckpointCorruptError and leave the live KB untouched
+# ---------------------------------------------------------------------- #
+class TestCheckpointCorruptionMatrix:
+    @staticmethod
+    def write(tiny_ckb, tmp_path, suffix):
+        path = str(tmp_path / f"ckpt.json{suffix}")
+        save_checkpoint(snapshot(tiny_ckb, 42.0, [1, 2, 3]), path)
+        with open(path, "rb") as handle:
+            return path, handle.read()
+
+    @staticmethod
+    def assert_rejected_cleanly(path, tiny_kb, tiny_ckb, reference):
+        """The one acceptance shape: typed error, no KB side effects."""
+        with pytest.raises(CheckpointCorruptError):
+            load_checkpoint(path)
+        assert_ckb_equal(tiny_ckb, reference)
+
+    @staticmethod
+    def assert_no_silent_corruption(path, tiny_kb, tiny_ckb, reference):
+        """Weaker shape for mutations that may be semantic no-ops (gzip
+        header metadata like MTIME/XFL/OS): either a typed rejection, or
+        a load that restores *exactly* the reference state.  What must
+        never happen is an untyped exception or a silently different KB.
+        """
+        try:
+            loaded = load_checkpoint(path)
+        except CheckpointCorruptError:
+            pass
+        else:
+            assert_ckb_equal(restore(tiny_kb, loaded), reference)
+        assert_ckb_equal(tiny_ckb, reference)
+
+    @pytest.fixture
+    def reference(self, tiny_kb, tiny_ckb):
+        return restore(tiny_kb, snapshot(tiny_ckb))
+
+    @pytest.mark.parametrize("suffix", ["", ".gz"])
+    @pytest.mark.parametrize("fraction", [0.0, 0.1, 0.35, 0.6, 0.9, 0.999])
+    def test_truncations(
+        self, tiny_kb, tiny_ckb, reference, tmp_path, suffix, fraction
+    ):
+        path, data = self.write(tiny_ckb, tmp_path, suffix)
+        cut = int(len(data) * fraction)
+        assert cut < len(data)
+        with open(path, "wb") as handle:
+            handle.write(data[:cut])
+        self.assert_rejected_cleanly(path, tiny_kb, tiny_ckb, reference)
+
+    @pytest.mark.parametrize("suffix", ["", ".gz"])
+    def test_single_bit_flips_across_the_file(
+        self, tiny_kb, tiny_ckb, reference, tmp_path, suffix
+    ):
+        path, data = self.write(tiny_ckb, tmp_path, suffix)
+        stride = max(1, len(data) // 40)
+        for offset in range(0, len(data), stride):
+            for bit in (0, 3, 7):
+                mutated = bytearray(data)
+                mutated[offset] ^= 1 << bit
+                with open(path, "wb") as handle:
+                    handle.write(bytes(mutated))
+                if suffix == ".gz":
+                    # gzip header metadata (MTIME/XFL/OS) doesn't affect
+                    # the decompressed bytes; only silent *difference* is
+                    # corruption there
+                    self.assert_no_silent_corruption(
+                        path, tiny_kb, tiny_ckb, reference
+                    )
+                else:
+                    self.assert_rejected_cleanly(path, tiny_kb, tiny_ckb, reference)
+
+    def test_bit_flip_in_every_checksum_region_byte(
+        self, tiny_kb, tiny_ckb, reference, tmp_path
+    ):
+        path, data = self.write(tiny_ckb, tmp_path, "")
+        start = data.index(b'"checksum"')
+        for offset in range(start + len(b'"checksum": "'), start + 40):
+            mutated = bytearray(data)
+            mutated[offset] ^= 0x01
+            with open(path, "wb") as handle:
+                handle.write(bytes(mutated))
+            self.assert_rejected_cleanly(path, tiny_kb, tiny_ckb, reference)
+
+    def test_valid_checkpoint_still_loads_after_matrix(
+        self, tiny_kb, tiny_ckb, tmp_path
+    ):
+        # guard against the matrix passing because *nothing* loads
+        path, _ = self.write(tiny_ckb, tmp_path, "")
+        assert_ckb_equal(tiny_ckb, restore(tiny_kb, load_checkpoint(path)))

@@ -1,0 +1,411 @@
+"""Serving front end: tenants, admission, dispatch, typed error bodies.
+
+Everything except the final smoke test drives the transport-independent
+:class:`~repro.serve.handlers.ServeApp` under a
+:class:`~repro.testing.faults.FakeClock`, so rate-limit and breaker
+behaviour is exact.  The smoke test binds a real
+:class:`~repro.serve.server.ReproHTTPServer` on an ephemeral port to
+prove the stdlib transport serializes the same bodies — including the
+``internal`` body for a non-taxonomy bug planted via monkeypatching.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import (
+    BadRequestError,
+    IndexUnavailableError,
+    NotFoundError,
+    OverloadedError,
+    RateLimitedError,
+    ReproError,
+    ServeError,
+    UnknownTenantError,
+)
+from repro.obs.metrics import validate_metrics_document
+from repro.serve.admission import AdmissionController
+from repro.serve.handlers import ServeApp, error_body
+from repro.serve.tenants import TenantSpec, TokenBucket, build_tenant_registry
+from repro.testing.faults import FakeClock
+
+
+# ---------------------------------------------------------------------- #
+# token bucket
+# ---------------------------------------------------------------------- #
+class TestTokenBucket:
+    def test_burst_then_empty(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=1.0, capacity=3.0, clock=clock)
+        assert [bucket.try_acquire() for _ in range(4)] == [True, True, True, False]
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, capacity=2.0, clock=clock)
+        bucket.try_acquire()
+        bucket.try_acquire()
+        assert not bucket.try_acquire()
+        clock.advance(0.5)  # 1 token back at 2/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_retry_after_is_exact_under_fake_clock(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, capacity=1.0, clock=clock)
+        bucket.try_acquire()
+        assert bucket.retry_after() == pytest.approx(0.25)
+
+    def test_never_exceeds_capacity(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=100.0, capacity=2.0, clock=clock)
+        clock.advance(1000.0)
+        assert bucket.snapshot()["tokens"] == 2.0
+
+    @pytest.mark.parametrize("rate,capacity", [(0.0, 1.0), (-1.0, 1.0), (1.0, 0.0)])
+    def test_invalid_parameters_rejected(self, rate, capacity):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=rate, capacity=capacity)
+
+
+# ---------------------------------------------------------------------- #
+# admission controller
+# ---------------------------------------------------------------------- #
+class TestAdmissionController:
+    def test_sheds_beyond_capacity_plus_queue(self):
+        admission = AdmissionController(capacity=2, queue_limit=1)
+        for _ in range(3):
+            admission.admit()
+        with pytest.raises(OverloadedError) as excinfo:
+            admission.admit()
+        assert excinfo.value.kind == "shed"
+        assert excinfo.value.status == 503
+        assert admission.snapshot()["shed"] == 1
+
+    def test_release_reopens_admission(self):
+        admission = AdmissionController(capacity=1, queue_limit=0)
+        admission.admit()
+        with pytest.raises(OverloadedError):
+            admission.admit()
+        admission.release()
+        admission.admit()  # does not raise
+        assert admission.snapshot()["admitted"] == 2
+
+    def test_release_without_admit_is_a_bug(self):
+        with pytest.raises(ValueError):
+            AdmissionController().release()
+
+    def test_peak_pending_tracks_high_water_mark(self):
+        admission = AdmissionController(capacity=4, queue_limit=0)
+        for _ in range(3):
+            admission.admit()
+        admission.release()
+        admission.release()
+        snap = admission.snapshot()
+        assert snap["pending"] == 1
+        assert snap["peak_pending"] == 3
+
+    @pytest.mark.parametrize("capacity,queue_limit", [(0, 1), (1, -1)])
+    def test_invalid_parameters_rejected(self, capacity, queue_limit):
+        with pytest.raises(ValueError):
+            AdmissionController(capacity=capacity, queue_limit=queue_limit)
+
+
+# ---------------------------------------------------------------------- #
+# error bodies
+# ---------------------------------------------------------------------- #
+class TestErrorBodies:
+    @pytest.mark.parametrize(
+        "error,status,kind",
+        [
+            (BadRequestError("x"), 400, "bad_request"),
+            (UnknownTenantError("x"), 404, "unknown_tenant"),
+            (NotFoundError("x"), 404, "not_found"),
+            (RateLimitedError("x", retry_after_s=1.5), 429, "rate_limited"),
+            (OverloadedError("x"), 503, "shed"),
+            (IndexUnavailableError("x"), 503, "unavailable"),
+            (ReproError("x"), 503, "unavailable"),
+        ],
+    )
+    def test_every_taxonomy_error_renders_typed(self, error, status, kind):
+        got_status, body = error_body(error)
+        assert got_status == status
+        assert body["schema_version"] == 1
+        assert body["error"]["type"] == kind
+        assert body["error"]["status"] == status
+        assert isinstance(body["error"]["message"], str)
+
+    def test_rate_limited_carries_retry_after(self):
+        _, body = error_body(RateLimitedError("slow down", retry_after_s=0.75))
+        assert body["error"]["retry_after_s"] == 0.75
+
+    def test_serve_errors_are_repro_errors(self):
+        for exc in (
+            ServeError, BadRequestError, UnknownTenantError, NotFoundError,
+            RateLimitedError, OverloadedError,
+        ):
+            assert issubclass(exc, ReproError)
+
+
+# ---------------------------------------------------------------------- #
+# app dispatch over a real (small) world
+# ---------------------------------------------------------------------- #
+@pytest.fixture(scope="module")
+def served(small_world):
+    clock = FakeClock()
+    registry, context = build_tenant_registry(
+        small_world,
+        [TenantSpec(name="alpha", rate=10.0, burst=5.0, deadline_ms=None),
+         TenantSpec(name="beta", rate=10.0, burst=5.0, deadline_ms=None)],
+        clock=clock,
+    )
+    app = ServeApp(
+        registry,
+        admission=AdmissionController(capacity=2, queue_limit=1),
+        clock=clock,
+    )
+    mention = next(
+        (tweet, m)
+        for tweet in context.test_dataset.tweets
+        for m in tweet.mentions
+    )
+    return app, clock, mention
+
+
+def _link_body(tenant, surface, user, now, **extra):
+    payload = {"tenant": tenant, "surface": surface, "user": user, "now": now}
+    payload.update(extra)
+    return json.dumps(payload).encode()
+
+
+class TestServeApp:
+    def _fresh_bucket(self, app, clock):
+        # module-scoped fixture: refill every tenant bucket between tests
+        clock.advance(10.0)
+
+    def test_link_happy_path_schema(self, served):
+        app, clock, (tweet, mention) = served
+        self._fresh_bucket(app, clock)
+        status, doc = app.handle(
+            "POST", "/v1/link",
+            _link_body("alpha", mention.surface, tweet.user, tweet.timestamp),
+        )
+        assert status == 200
+        assert doc["schema_version"] == 1
+        assert doc["tenant"] == "alpha"
+        assert doc["outcome"] in ("ok", "abstained", "degraded")
+        assert doc["degradation"] is None
+        for candidate in doc["candidates"]:
+            assert set(candidate) == {"entity", "score"}
+
+    @pytest.mark.parametrize(
+        "body,expected_kind",
+        [
+            (None, "bad_request"),
+            (b"", "bad_request"),
+            (b"{not json", "bad_request"),
+            (b'"just a string"', "bad_request"),
+            (b'{"surface": "x", "user": 1}', "bad_request"),  # no tenant
+            (b'{"tenant": "alpha", "user": 1}', "bad_request"),  # no surface
+            (b'{"tenant": "alpha", "surface": " ", "user": 1}', "bad_request"),
+            (b'{"tenant": "alpha", "surface": "x"}', "bad_request"),  # no user
+            (b'{"tenant": "alpha", "surface": "x", "user": "seven"}',
+             "bad_request"),
+            (b'{"tenant": "alpha", "surface": "x", "user": 1, "now": "nope"}',
+             "bad_request"),
+            (b'{"tenant": "ghost", "surface": "x", "user": 1}', "unknown_tenant"),
+        ],
+    )
+    def test_malformed_requests_get_typed_bodies(self, served, body, expected_kind):
+        app, clock, _ = served
+        self._fresh_bucket(app, clock)
+        status, doc = app.handle("POST", "/v1/link", body)
+        assert status in (400, 404)
+        assert doc["error"]["type"] == expected_kind
+
+    def test_out_of_universe_user_is_bad_request(self, served):
+        app, clock, (tweet, mention) = served
+        self._fresh_bucket(app, clock)
+        status, doc = app.handle(
+            "POST", "/v1/link",
+            _link_body("alpha", mention.surface, 10**9, tweet.timestamp),
+        )
+        assert (status, doc["error"]["type"]) == (400, "bad_request")
+
+    def test_non_finite_now_is_bad_request(self, served):
+        app, clock, (tweet, mention) = served
+        self._fresh_bucket(app, clock)
+        status, doc = app.handle(
+            "POST", "/v1/link",
+            json.dumps({"tenant": "alpha", "surface": mention.surface,
+                        "user": tweet.user, "now": 1e999}).encode(),
+        )
+        assert (status, doc["error"]["type"]) == (400, "bad_request")
+
+    def test_unknown_route_is_not_found(self, served):
+        app, clock, _ = served
+        status, doc = app.handle("GET", "/v2/nope", None)
+        assert (status, doc["error"]["type"]) == (404, "not_found")
+
+    def test_rate_limit_exhausts_to_429_with_retry_hint(self, served):
+        app, clock, (tweet, mention) = served
+        self._fresh_bucket(app, clock)
+        body = _link_body("beta", mention.surface, tweet.user, tweet.timestamp)
+        statuses = [app.handle("POST", "/v1/link", body)[0] for _ in range(6)]
+        assert statuses[:5] == [200] * 5  # burst capacity
+        assert statuses[5] == 429
+        status, doc = app.handle("POST", "/v1/link", body)
+        assert doc["error"]["type"] == "rate_limited"
+        assert doc["error"]["retry_after_s"] > 0
+
+    def test_full_queue_sheds_503(self, served):
+        app, clock, (tweet, mention) = served
+        self._fresh_bucket(app, clock)
+        for _ in range(3):  # capacity 2 + queue 1
+            app.admission.admit()
+        try:
+            status, doc = app.handle(
+                "POST", "/v1/link",
+                _link_body("alpha", mention.surface, tweet.user, tweet.timestamp),
+            )
+        finally:
+            for _ in range(3):
+                app.admission.release()
+        assert (status, doc["error"]["type"]) == (503, "shed")
+
+    def test_healthz_exposes_tenant_and_breaker_state(self, served):
+        app, clock, _ = served
+        status, doc = app.handle("GET", "/healthz", None)
+        assert status == 200
+        assert doc["status"] == "ok"
+        assert set(doc["admission"]) == {
+            "capacity", "queue_limit", "pending", "peak_pending",
+            "admitted", "shed",
+        }
+        names = [tenant["name"] for tenant in doc["tenants"]]
+        assert names == ["alpha", "beta"]
+        for tenant in doc["tenants"]:
+            assert tenant["breaker"]["schema_version"] == 1
+            assert tenant["breaker"]["state"] in ("closed", "open", "half_open")
+            assert set(tenant["bucket"]) == {"rate_per_s", "capacity", "tokens"}
+
+    def test_healthz_is_json_serializable(self, served):
+        app, clock, _ = served
+        _, doc = app.handle("GET", "/healthz", None)
+        assert json.loads(json.dumps(doc, sort_keys=True)) == doc
+
+    def test_metrics_endpoint_serves_standard_document(self, served):
+        app, clock, _ = served
+        status, doc = app.handle("GET", "/metrics", None)
+        assert status == 200
+        assert validate_metrics_document(doc) == []
+
+    def test_tenants_endpoint_lists_names(self, served):
+        app, clock, _ = served
+        status, doc = app.handle("GET", "/v1/tenants", None)
+        assert (status, doc["tenants"]) == (200, ["alpha", "beta"])
+
+    def test_admission_slot_released_after_rejection(self, served):
+        app, clock, (tweet, mention) = served
+        self._fresh_bucket(app, clock)
+        before = app.admission.pending
+        app.handle(
+            "POST", "/v1/link",
+            _link_body("alpha", mention.surface, 10**9, tweet.timestamp),
+        )
+        assert app.admission.pending == before
+
+    def test_per_tenant_isolation_of_rate_limits(self, served):
+        app, clock, (tweet, mention) = served
+        self._fresh_bucket(app, clock)
+        body_a = _link_body("alpha", mention.surface, tweet.user, tweet.timestamp)
+        body_b = _link_body("beta", mention.surface, tweet.user, tweet.timestamp)
+        while app.handle("POST", "/v1/link", body_a)[0] == 200:
+            pass
+        # alpha exhausted; beta still serves
+        assert app.handle("POST", "/v1/link", body_b)[0] == 200
+
+
+# ---------------------------------------------------------------------- #
+# real sockets (ephemeral port)
+# ---------------------------------------------------------------------- #
+class TestHTTPSmoke:
+    @pytest.fixture
+    def http_server(self, small_world):
+        from repro.serve.server import ReproHTTPServer
+
+        clock = FakeClock()
+        registry, context = build_tenant_registry(
+            small_world, [TenantSpec(name="alpha", rate=1000.0, burst=1000.0,
+                                     deadline_ms=None)],
+            clock=clock,
+        )
+        app = ServeApp(registry, clock=clock)
+        with ReproHTTPServer(app, port=0) as server:
+            yield server, app, context
+
+    @staticmethod
+    def request(server, method, path, body=None):
+        import http.client
+
+        connection = http.client.HTTPConnection(*server.address, timeout=10)
+        try:
+            connection.request(method, path, body=body)
+            response = connection.getresponse()
+            return response.status, json.loads(response.read().decode())
+        finally:
+            connection.close()
+
+    def test_link_and_errors_over_real_sockets(self, http_server):
+        server, app, context = http_server
+        tweet, mention = next(
+            (tweet, m)
+            for tweet in context.test_dataset.tweets
+            for m in tweet.mentions
+        )
+        status, doc = self.request(
+            server, "POST", "/v1/link",
+            _link_body("alpha", mention.surface, tweet.user, tweet.timestamp),
+        )
+        assert status == 200
+        assert doc["outcome"] in ("ok", "abstained")
+
+        status, doc = self.request(server, "GET", "/healthz")
+        assert (status, doc["status"]) == (200, "ok")
+
+        status, doc = self.request(server, "POST", "/v1/link", b"{broken")
+        assert (status, doc["error"]["type"]) == (400, "bad_request")
+
+        status, doc = self.request(server, "GET", "/nope")
+        assert (status, doc["error"]["type"]) == (404, "not_found")
+
+    def test_non_taxonomy_bug_becomes_typed_internal_body(self, http_server):
+        server, app, _ = http_server
+
+        def explode(method, path, body=None):
+            raise RuntimeError("planted bug")
+
+        original = app.handle
+        app.handle = explode
+        try:
+            status, doc = self.request(server, "GET", "/healthz")
+        finally:
+            app.handle = original
+        assert status == 500
+        assert doc["error"]["type"] == "internal"
+        assert "planted bug" in doc["error"]["message"]
+
+    def test_oversized_body_rejected_without_reading(self, http_server):
+        server, app, _ = http_server
+        import http.client
+
+        connection = http.client.HTTPConnection(*server.address, timeout=10)
+        try:
+            connection.putrequest("POST", "/v1/link")
+            connection.putheader("Content-Length", str(10**7))
+            connection.endheaders()
+            response = connection.getresponse()
+            doc = json.loads(response.read().decode())
+        finally:
+            connection.close()
+        assert response.status == 400
+        assert doc["error"]["type"] == "bad_request"
