@@ -441,6 +441,62 @@ class MutationWithoutRefreshRule(Rule):
                 )
 
 
+#: Function names on the per-batch hot path (PAR-003).  Pickling inside
+#: any of these re-serializes world-sized state on every call — the exact
+#: regression the fork-once snapshot protocol exists to prevent.
+PER_BATCH_FUNCTIONS = frozenset(
+    {
+        "link_batch",
+        "link_tweets",
+        "map",
+        "map_per_worker",
+        "broadcast",
+        "_link_shard",
+        "handle",
+        "imap",
+    }
+)
+
+
+@register
+class PerBatchPickleRule(Rule):
+    id = "PAR-003"
+    severity = Severity.ERROR
+    summary = (
+        "no pickling inside per-batch code paths of worker-sharded modules "
+        "(serialize the world once at pool creation, ship epoch deltas after)"
+    )
+
+    _PICKLE_CALLS = frozenset({"pickle.dumps", "pickle.loads", "pickle.dump",
+                               "pickle.load"})
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        if not ctx.in_module(*PARALLEL_MODULES):
+            return
+        bare_pickle = _from_imports(ctx.tree, "pickle")
+        for function in ast.walk(ctx.tree):
+            if not isinstance(function, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if function.name not in PER_BATCH_FUNCTIONS:
+                continue
+            for node in ast.walk(function):
+                if not isinstance(node, ast.Call):
+                    continue
+                dotted = _dotted(node.func)
+                if dotted is None:
+                    continue
+                if dotted in self._PICKLE_CALLS or dotted in bare_pickle:
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{dotted}() inside per-batch function "
+                        f"{function.name}(): serialization on the hot path "
+                        "re-ships state every batch — freeze the world once "
+                        "when the pool starts (snapshot.freeze) and send "
+                        "epoch deltas from refresh() instead",
+                    )
+
+
 # ---------------------------------------------------------------------- #
 # NUM — numeric discipline
 # ---------------------------------------------------------------------- #

@@ -14,7 +14,13 @@ of the system, and writes a **schema-stable** ``BENCH_linking.json``:
   ``score_caching`` linker sharing the uncached linker's indexes, with an
   inline bit-identity check and the score-cache hit rates;
 * ``batch``    — sharded batch-linking throughput per worker count, with
-  speedups against the one-worker run measured on the same machine;
+  speedups against the one-worker run measured on the same machine; rows
+  whose worker count exceeds the schedulable CPU set carry
+  ``"undersubscribed": true`` (their regressions are warnings, not gate
+  failures — a 1-CPU runner cannot demonstrate scaling either way);
+* ``snapshot`` — the fork-once / epoch-delta worker-update protocol:
+  bytes shipped per refresh versus the re-pickling baseline (one full
+  blob per refresh), with a post-refresh parity check;
 * ``perf``     — the counter/timer snapshot (cache hit rates, BFS counts).
 
 The workload is fully determined by ``seed``/``smoke``, so successive PRs
@@ -37,7 +43,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro import parallelism
 from repro.cache import hit_rate_names
 from repro.config import LinkerConfig
-from repro.core.batch import LinkRequest
+from repro.core.batch import LinkRequest, MicroBatchLinker
 from repro.core.linker import SocialTemporalLinker
 from repro.core.parallel import ParallelBatchLinker
 from repro.core.recency import RecencyPropagationNetwork
@@ -59,7 +65,7 @@ from repro.stream.profiles import quick_profiles
 
 _log = get_logger(__name__)
 
-SCHEMA_VERSION = 2
+SCHEMA_VERSION = 3
 
 #: section -> required keys; the CI smoke job and the tests validate every
 #: emitted document against this shape.
@@ -96,10 +102,23 @@ _REQUIRED_SECTIONS: Dict[str, Tuple[str, ...]] = {
         "hit_rates",
     ),
     "batch": ("requests", "results"),
+    "snapshot": (
+        "workers",
+        "refreshes",
+        "full_blob_bytes",
+        "delta_bytes_total",
+        "delta_bytes_per_refresh",
+        "reduction_x",
+        "deltas",
+        "resyncs",
+        "outputs_identical",
+    ),
     "perf": ("counters", "cache_hit_rates", "timers"),
 }
 
-_BATCH_RESULT_KEYS = ("workers", "seconds", "throughput_rps", "speedup_vs_1")
+_BATCH_RESULT_KEYS = (
+    "workers", "seconds", "throughput_rps", "speedup_vs_1", "undersubscribed"
+)
 
 
 def validate_bench_document(doc: object) -> List[str]:
@@ -161,6 +180,10 @@ _BUILD_TIME_KEYS: Tuple[str, ...] = (
 #: Minimum warm-cache speedup below which the comparison warns.
 _MIN_CACHED_SPEEDUP = 2.0
 
+#: Minimum bytes-per-refresh reduction of the epoch-delta snapshot
+#: protocol versus re-pickling the full blob every refresh.
+_MIN_SNAPSHOT_REDUCTION = 10.0
+
 
 def compare_bench_documents(
     current: Dict, baseline: Dict, tolerance: float = 0.25
@@ -170,11 +193,14 @@ def compare_bench_documents(
     Returns ``(errors, warnings)``.  Errors fail the CI perf-regression
     job: an invalid document, a workload mismatch (different seed/smoke —
     the numbers would not be comparable), a single-mention p50 regression
-    beyond ``tolerance`` (relative), or a cached run whose outputs were
-    not bit-identical to the uncached oracle.  Build-time regressions,
-    lost batch throughput, and a warm-cache speedup below
-    ``2.0`` are warnings only: they track real machines, not the code
-    alone.
+    beyond ``tolerance`` (relative), a cached run whose outputs were
+    not bit-identical to the uncached oracle, a pool that diverged after
+    delta refreshes, or a *fully subscribed* multi-worker speedup falling
+    more than ``tolerance`` below the baseline's.  Build-time
+    regressions, lost batch throughput, undersubscribed speedup drops
+    (the runner has fewer cores than workers — on either side), and a
+    warm-cache speedup below ``2.0`` are warnings only: they track real
+    machines, not the code alone.
     """
     if not 0.0 < tolerance:
         raise ValueError("tolerance must be positive")
@@ -209,6 +235,11 @@ def compare_bench_documents(
             "single_mention_cached.outputs_identical is false: the cached "
             "path diverged from the uncached oracle"
         )
+    if not current["snapshot"]["outputs_identical"]:
+        errors.append(
+            "snapshot.outputs_identical is false: the worker pool diverged "
+            "from the parent linker after epoch-delta refreshes"
+        )
     for key in _BUILD_TIME_KEYS:
         now = float(current["build"][key])
         then = float(baseline["build"][key])
@@ -236,6 +267,27 @@ def compare_bench_documents(
                 f"batch throughput at workers={row['workers']} dropped "
                 f"{then_rps} -> {now_rps} rps"
             )
+        if int(row["workers"]) > 1:
+            now_speedup = float(row["speedup_vs_1"])
+            then_speedup = float(before["speedup_vs_1"])
+            undersubscribed = bool(row.get("undersubscribed")) or bool(
+                before.get("undersubscribed")
+            )
+            if then_speedup > 0 and now_speedup < then_speedup * (1.0 - tolerance):
+                message = (
+                    f"batch speedup at workers={row['workers']} dropped "
+                    f"{then_speedup}x -> {now_speedup}x"
+                )
+                if undersubscribed:
+                    warnings.append(message + " (undersubscribed: warning only)")
+                else:
+                    errors.append(message)
+    reduction = float(current["snapshot"]["reduction_x"])
+    if current["snapshot"]["deltas"] and reduction < _MIN_SNAPSHOT_REDUCTION:
+        warnings.append(
+            f"snapshot delta reduction {reduction}x is below the "
+            f"{_MIN_SNAPSHOT_REDUCTION}x target"
+        )
     return errors, warnings
 
 
@@ -389,8 +441,9 @@ def _batch_bench(
 ) -> Dict:
     results: List[Dict] = []
     base_seconds: Optional[float] = None
+    schedulable = parallelism.resolve_workers(None)
     for workers in workers_list:
-        with ParallelBatchLinker(linker, workers=workers) as parallel:
+        with ParallelBatchLinker(linker, workers=workers, min_pool_batch=1) as parallel:
             # warm-up pass pays fork + per-worker cache warm-up once, the
             # measured pass shows steady-state throughput (the streaming
             # regime the batch path exists for)
@@ -410,9 +463,72 @@ def _batch_bench(
                 "speedup_vs_1": round(base_seconds / seconds, 3)
                 if base_seconds and seconds > 0
                 else 1.0,
+                # a pool wider than the schedulable CPU set cannot show a
+                # real speedup; comparisons treat these rows as warn-only
+                "undersubscribed": workers > schedulable,
             }
         )
     return {"requests": len(requests), "results": results}
+
+
+def _snapshot_bench(linker, requests: Sequence[LinkRequest], smoke: bool) -> Dict:
+    """Measure the epoch-delta snapshot protocol on a mutating linker.
+
+    One full sync pays the blob; each subsequent refresh confirms a few
+    links on the parent and ships the resulting delta.  ``reduction_x``
+    is the acceptance metric: bytes shipped per refresh under the delta
+    protocol versus the re-pickling baseline (which shipped the whole
+    blob every refresh).  ``outputs_identical`` re-links a probe batch
+    through the pool after all refreshes and compares against the
+    parent's own batcher — the freshness *and* parity check in one.
+
+    Runs last: it mutates the shared ckb via ``confirm_link``.
+    """
+    refreshes = 4 if smoke else 8
+    probe = requests[: 32 if smoke else 64]
+    counter_names = (
+        "snapshot.bytes_full",
+        "snapshot.bytes_delta",
+        "snapshot.deltas",
+        "snapshot.full_syncs",
+        "pool.resync",
+    )
+    before = {name: PERF.counter(name) for name in counter_names}
+    entities = sorted(linker.ckb.linked_entities())[:4]
+    stamp = 0.0
+    with ParallelBatchLinker(linker, workers=2, min_pool_batch=1) as parallel:
+        parallel.link_batch(probe)  # the one full sync
+        for _ in range(refreshes):
+            for entity_id in entities:
+                stamp += 1.0
+                linker.confirm_link(entity_id, user=0, timestamp=stamp)
+            parallel.refresh()
+        linked = parallel.link_batch(probe)
+    expected = MicroBatchLinker(linker).link_batch(probe)
+    identical = all(
+        a.ranked == b.ranked and a.degradation == b.degradation
+        for a, b in zip(linked, expected)
+    )
+    moved = {name: PERF.counter(name) - before[name] for name in counter_names}
+    full_syncs = max(1, moved["snapshot.full_syncs"])
+    full_blob_bytes = moved["snapshot.bytes_full"] // full_syncs
+    deltas = moved["snapshot.deltas"]
+    delta_bytes_per_refresh = (
+        moved["snapshot.bytes_delta"] / deltas if deltas else 0.0
+    )
+    return {
+        "workers": 2,
+        "refreshes": refreshes,
+        "full_blob_bytes": full_blob_bytes,
+        "delta_bytes_total": moved["snapshot.bytes_delta"],
+        "delta_bytes_per_refresh": round(delta_bytes_per_refresh, 3),
+        "reduction_x": round(full_blob_bytes / delta_bytes_per_refresh, 3)
+        if delta_bytes_per_refresh > 0
+        else 0.0,
+        "deltas": deltas,
+        "resyncs": moved["pool.resync"],
+        "outputs_identical": identical,
+    }
 
 
 # ---------------------------------------------------------------------- #
@@ -482,6 +598,7 @@ def run_bench(
         single = _single_mention_bench(linker, single_requests)
         single_cached = _cached_single_mention_bench(context, single_requests)
         batch = _batch_bench(linker, requests, workers_list)
+        snapshot = _snapshot_bench(linker, requests, smoke)
 
         document = {
             "meta": {
@@ -509,6 +626,7 @@ def run_bench(
             "single_mention": single,
             "single_mention_cached": single_cached,
             "batch": batch,
+            "snapshot": snapshot,
             "perf": PERF.snapshot(),
         }
     finally:

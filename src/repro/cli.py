@@ -274,6 +274,16 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--world", required=True)
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8355)
+    serve.add_argument(
+        "--microbatch", action="store_true",
+        help="coalesce link requests per tenant through the asyncio "
+        "micro-batch front end (latency SLO knobs live in LinkerConfig)",
+    )
+    serve.add_argument(
+        "--batch-workers", type=int, default=1,
+        help="with --microbatch: worker processes behind each tenant's "
+        "coalescer (>1 uses the persistent sharded pool)",
+    )
     _add_tenant_arguments(serve)
     _add_chaos_arguments(serve)
 
@@ -955,11 +965,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args, clock=_time.monotonic, sleep=_time.sleep if chaos.enabled else None,
         defer_release=False,
     )
+    front_ends = []
+    if args.microbatch:
+        from repro.core.batch import MicroBatchLinker
+        from repro.core.microbatch import MicroBatchFrontEnd
+        from repro.core.parallel import ParallelBatchLinker
+
+        for name in app.registry.names():
+            tenant = app.registry.get(name)
+            config = tenant.linker.config
+            if config.batch_dispatch(config.microbatch_max_batch, args.batch_workers) == "pool":
+                backend: object = ParallelBatchLinker(
+                    tenant.linker, workers=args.batch_workers
+                )
+            else:
+                backend = MicroBatchLinker(tenant.linker)
+            front_end = MicroBatchFrontEnd.from_config(backend, config)
+            front_end.start()
+            tenant.batcher = front_end
+            front_ends.append((front_end, backend))
     print(
         f"serving tenants {', '.join(app.registry.names())} "
-        f"on http://{args.host}:{args.port} (chaos={'on' if chaos.enabled else 'off'})"
+        f"on http://{args.host}:{args.port} (chaos={'on' if chaos.enabled else 'off'}"
+        f"{', microbatch' if args.microbatch else ''})"
     )
-    serve_forever(app, host=args.host, port=args.port)
+    try:
+        serve_forever(app, host=args.host, port=args.port)
+    finally:
+        for front_end, backend in front_ends:
+            front_end.stop()
+            if hasattr(backend, "close"):
+                backend.close()
     return 0
 
 

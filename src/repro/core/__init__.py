@@ -14,6 +14,8 @@ from repro.core.pipeline import AnnotatedText, TextLinkingPipeline
 from repro.core.influence import entropy_influence, tfidf_influence, top_influential_users
 from repro.core.interest import OnlineReachability, ReachabilityProvider, user_interest
 from repro.core.linker import LinkResult, MentionResult, SocialTemporalLinker
+from repro.core.microbatch import MicroBatchFrontEnd
+from repro.core.snapshot import MutationJournal, SnapshotDelta, SnapshotEpochs
 from repro.core.popularity import popularity_scores
 from repro.core.recency import RecencyPropagationNetwork, sliding_window_recency
 from repro.core.scoring import ScoredCandidate, combine_scores
@@ -27,8 +29,12 @@ __all__ = [
     "LinkRequest",
     "LinkResult",
     "LinkerRecipe",
+    "MicroBatchFrontEnd",
     "MicroBatchLinker",
+    "MutationJournal",
     "ParallelBatchLinker",
+    "SnapshotDelta",
+    "SnapshotEpochs",
     "TextLinkingPipeline",
     "explain_link",
     "MentionResult",

@@ -60,6 +60,11 @@ class MicroBatchLinker:
         self._linker = linker
         self._bucket = recency_bucket
 
+    @property
+    def linker(self) -> SocialTemporalLinker:
+        """The wrapped linker (the snapshot protocol applies deltas to it)."""
+        return self._linker
+
     # ------------------------------------------------------------------ #
     # batching
     # ------------------------------------------------------------------ #

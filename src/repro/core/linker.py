@@ -264,6 +264,11 @@ class SocialTemporalLinker:
         return self._ckb
 
     @property
+    def graph(self) -> DiGraph:
+        """The follow graph this linker scores against (shared, mutable)."""
+        return self._graph
+
+    @property
     def candidate_generator(self) -> CandidateGenerator:
         return self._candidates
 
@@ -371,6 +376,18 @@ class SocialTemporalLinker:
         """
         self._influential_cache.clear()
         self._entity_versions.clear()
+
+    def invalidate_reachability_cache(self) -> None:
+        """Drop cached reachability rows (after mutating the follow graph).
+
+        The interest memo is epoch-keyed, but cached-BFS providers like
+        :class:`~repro.graph.online.OnlineReachability` memoize per-source
+        rows with no epoch awareness — whoever mutates the graph owns
+        telling the provider.  No-op for providers without a cache.
+        """
+        invalidate = getattr(self._reachability, "invalidate", None)
+        if invalidate is not None:
+            invalidate()
 
     # ------------------------------------------------------------------ #
     # feature computation

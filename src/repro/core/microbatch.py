@@ -1,0 +1,176 @@
+"""Asyncio micro-batch coalescing front end for the linking engine.
+
+The serving path receives mentions one at a time, but every batch backend
+in this library — :class:`~repro.core.batch.MicroBatchLinker`'s per-surface
+work sharing, :class:`~repro.core.parallel.ParallelBatchLinker`'s sharded
+pool — only pays off when requests arrive *together*.
+:class:`MicroBatchFrontEnd` closes that gap: arriving requests are parked
+on futures and coalesced until either ``max_batch`` requests have
+gathered or ``max_delay_s`` has elapsed since the first of them (the
+added-latency SLO), then the whole batch goes to the backend in one
+``link_batch`` call.
+
+Determinism: how requests happen to be grouped never changes any result —
+``link_batch`` scores each request independently of its batch-mates (the
+parity contract of the batch and parallel linkers) — so coalescing is
+purely a throughput/latency trade, not a semantics one.
+
+Two ways to run it:
+
+* inside an existing asyncio application: ``await front_end.link(req)``;
+* from threaded code (the stdlib HTTP server in :mod:`repro.serve`):
+  call :meth:`start` once — a private event loop spins up on a daemon
+  thread — then :meth:`link_sync` from any request thread.
+
+The backend runs on a single-thread executor, so ``link_batch`` calls are
+strictly serialized: safe for the persistent pool's one-in-flight-task-
+per-pipe protocol, and for the plain batcher's caches.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import concurrent.futures
+import threading
+from typing import List, Optional, Tuple
+
+from repro.core.batch import LinkRequest
+from repro.core.linker import LinkResult
+from repro.obs.metrics import METRICS
+
+__all__ = ["MicroBatchFrontEnd"]
+
+#: Histogram buckets for coalesced batch sizes.
+_BATCH_SIZE_BOUNDARIES = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
+
+class MicroBatchFrontEnd:
+    """Coalesce single-mention arrivals into backend ``link_batch`` calls.
+
+    ``backend`` is anything with ``link_batch(Sequence[LinkRequest]) ->
+    List[LinkResult]`` preserving input order.  ``max_delay_s`` bounds the
+    extra latency any request can pay waiting for company; ``max_batch``
+    bounds how much company is worth waiting for.
+    """
+
+    def __init__(
+        self,
+        backend: object,
+        max_delay_s: float = 0.002,
+        max_batch: int = 64,
+    ) -> None:
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        if max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        self._backend = backend
+        self._max_delay_s = max_delay_s
+        self._max_batch = max_batch
+        # Touched only from the owning event loop's thread.
+        self._pending: List[Tuple[LinkRequest, "asyncio.Future[LinkResult]"]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+        self._tasks: set = set()
+        self._executor = concurrent.futures.ThreadPoolExecutor(
+            max_workers=1, thread_name_prefix="microbatch-backend"
+        )
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @classmethod
+    def from_config(cls, backend: object, config: object) -> "MicroBatchFrontEnd":
+        """Build from ``LinkerConfig``'s SLO knobs."""
+        return cls(
+            backend,
+            max_delay_s=config.microbatch_max_delay_ms / 1000.0,  # type: ignore[attr-defined]
+            max_batch=config.microbatch_max_batch,  # type: ignore[attr-defined]
+        )
+
+    # ------------------------------------------------------------------ #
+    # asyncio API
+    # ------------------------------------------------------------------ #
+    async def link(self, request: LinkRequest) -> LinkResult:
+        """Park one request on the current batch and await its result."""
+        loop = asyncio.get_running_loop()
+        future: "asyncio.Future[LinkResult]" = loop.create_future()
+        self._pending.append((request, future))
+        METRICS.incr("microbatch.requests")
+        if len(self._pending) >= self._max_batch:
+            self._flush(loop)
+        elif self._timer is None:
+            self._timer = loop.call_later(self._max_delay_s, self._flush, loop)
+        return await future
+
+    def _flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._pending:
+            return
+        batch, self._pending = self._pending, []
+        METRICS.incr("microbatch.batches")
+        METRICS.observe(
+            "microbatch.batch_size", float(len(batch)), _BATCH_SIZE_BOUNDARIES
+        )
+        task = loop.create_task(self._run_batch(batch))
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def _run_batch(
+        self, batch: List[Tuple[LinkRequest, "asyncio.Future[LinkResult]"]]
+    ) -> None:
+        requests = [request for request, _ in batch]
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._executor, self._backend.link_batch, requests  # type: ignore[attr-defined]
+            )
+        except Exception as error:  # repro: noqa[ERR-002] -- batch boundary: a backend failure must fail exactly the requests waiting on this batch, whatever its type; it is re-raised to each caller through their futures
+            for _, future in batch:
+                if not future.done():
+                    future.set_exception(error)
+            return
+        for (_, future), result in zip(batch, results):
+            if not future.done():
+                future.set_result(result)
+
+    async def drain(self) -> None:
+        """Flush the pending batch and wait for in-flight work (tests)."""
+        self._flush(asyncio.get_running_loop())
+        while self._tasks:
+            in_flight = tuple(self._tasks)
+            await asyncio.gather(*in_flight, return_exceptions=True)
+            self._tasks.difference_update(in_flight)
+
+    # ------------------------------------------------------------------ #
+    # sync bridge for threaded transports
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Run a private event loop on a daemon thread (idempotent)."""
+        if self._loop is not None:
+            return
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="microbatch-loop", daemon=True
+        )
+        self._thread.start()
+
+    def link_sync(
+        self, request: LinkRequest, timeout: Optional[float] = 30.0
+    ) -> LinkResult:
+        """Thread-safe blocking :meth:`link` against the private loop."""
+        if self._loop is None:
+            raise ValueError("MicroBatchFrontEnd.start() has not been called")
+        handle = asyncio.run_coroutine_threadsafe(self.link(request), self._loop)
+        return handle.result(timeout)
+
+    def stop(self) -> None:
+        """Drain, stop the private loop, and release the executor."""
+        loop, self._loop = self._loop, None
+        if loop is not None:
+            asyncio.run_coroutine_threadsafe(self.drain(), loop).result(timeout=30.0)
+            loop.call_soon_threadsafe(loop.stop)
+            if self._thread is not None:
+                self._thread.join(timeout=5.0)
+                self._thread = None
+            loop.close()
+        self._executor.shutdown(wait=True)

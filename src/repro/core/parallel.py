@@ -15,27 +15,43 @@ sequential :meth:`SocialTemporalLinker.link` for ``recency_bucket = 0``
 (the parity suite in ``tests/test_parallel.py`` asserts this per worker
 count), and results are always reassembled into input order.
 
-Worker lifecycle: the pool is created lazily on the first parallel call
-and **snapshots the linker at that moment** (``fork`` inherits it
-zero-copy; ``spawn`` platforms pickle it, or rebuild it from a
-:class:`LinkerRecipe` when the wired linker is not picklable).  Parent-side
-mutations — :meth:`SocialTemporalLinker.confirm_link`, KB pruning — are
-invisible to workers until :meth:`ParallelBatchLinker.refresh` tears the
-pool down; the streaming CLI refreshes at checkpoint cadence.  With
-``workers = 1`` everything runs in-process through a plain
-:class:`MicroBatchLinker` and no pool ever exists.
+Worker lifecycle (the fork-once / epoch-delta protocol, DESIGN.md §7 and
+``docs/parallelism.md``): the first parallel batch freezes the linker into
+one immutable pickle blob and starts a :class:`PersistentWorkerPool` whose
+workers deserialize it exactly once.  From then on
+:meth:`ParallelBatchLinker.refresh` ships only the **mutations** recorded
+since the last sync — a :class:`~repro.core.snapshot.SnapshotDelta` cut
+from a parent-side :class:`~repro.core.snapshot.MutationJournal` and
+verified against the PR-5 epoch counters on both ends.  A refresh with
+unchanged epochs ships nothing.  When a delta cannot be trusted (KB schema
+epoch moved, epochs regressed, journal/epoch mismatch, delta bytes above
+``snapshot_resync_ratio`` of the blob, a worker raising
+:class:`~repro.errors.SnapshotSyncError`, or a worker crash) the pool is
+rebuilt from a fresh full blob — the ``pool.resync`` path.
+
+Dispatch is scale-aware: batches smaller than
+``LinkerConfig.parallel_min_batch`` run in-process even when a pool is
+configured, because shipping a handful of requests through pipes costs
+more than scoring them (``dispatch.serial`` / ``dispatch.pool`` counters
+record the split).  With ``workers = 1`` everything runs in-process
+through a plain :class:`MicroBatchLinker` and no pool ever exists.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import pickle
 import zlib
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import parallelism
+from repro.core import snapshot
 from repro.core.batch import LinkRequest, MicroBatchLinker
 from repro.core.linker import LinkResult, SocialTemporalLinker
+from repro.core.snapshot import MutationJournal, SnapshotEpochs
+from repro.errors import SnapshotSyncError, WorkerCrashError
 from repro.obs.metrics import METRICS
+from repro.obs.trace import TRACE
 from repro.perf import PERF
 from repro.stream.tweet import Tweet
 
@@ -52,10 +68,10 @@ class LinkerRecipe:
     """Picklable instructions for building a linker inside a worker.
 
     ``factory`` must be an importable module-level callable returning a
-    fully wired :class:`SocialTemporalLinker`.  Only needed on platforms
-    without ``fork`` *and* with a linker holding unpicklable state (e.g. a
-    live circuit breaker's lock); everywhere else the linker instance
-    itself travels to the workers.
+    fully wired :class:`SocialTemporalLinker`.  Only needed when the wired
+    linker holds unpicklable state the blob cannot carry; recipe-built
+    workers have no parent-side journal, so every refresh is a full
+    resync.
     """
 
     factory: Callable[..., SocialTemporalLinker]
@@ -68,7 +84,7 @@ class LinkerRecipe:
 
 @dataclasses.dataclass(frozen=True)
 class _WorkerSpec:
-    """What the pool initializer installs in each worker."""
+    """What a worker deserializes from the fork-once blob."""
 
     linker: Optional[SocialTemporalLinker]
     recipe: Optional[LinkerRecipe]
@@ -80,8 +96,15 @@ class _WorkerSpec:
 
 
 #: Per-worker-process micro-batch linker, built once from the installed
-#: spec and kept so its work-sharing caches survive across map calls.
+#: spec; epoch-delta updates mutate its wrapped linker in place.
 _WORKER_BATCHER: Optional[MicroBatchLinker] = None
+
+
+def _worker_batcher() -> MicroBatchLinker:
+    global _WORKER_BATCHER
+    if _WORKER_BATCHER is None:
+        _WORKER_BATCHER = parallelism.payload().batcher()
+    return _WORKER_BATCHER
 
 
 def _link_shard(
@@ -101,20 +124,32 @@ def _link_shard(
     ride back as the fourth element so ``repro bench`` can report
     aggregate hit rates for parallel runs too.
     """
-    global _WORKER_BATCHER
-    if _WORKER_BATCHER is None:
-        _WORKER_BATCHER = parallelism.payload().batcher()
+    batcher = _worker_batcher()
     indices, requests = shard
     METRICS.reset()
     before = {
         name: PERF.counter(name)
         for name in _SCORE_CACHE_COUNTERS
     }
-    results = _WORKER_BATCHER.link_batch(requests)
+    results = batcher.link_batch(requests)
     perf_delta = {
         name: PERF.counter(name) - before[name] for name in _SCORE_CACHE_COUNTERS
     }
     return indices, results, METRICS.snapshot(), perf_delta
+
+
+def _apply_delta_blob(blob: bytes) -> Tuple[int, int, int]:
+    """Worker side of :meth:`ParallelBatchLinker.refresh`.
+
+    Replays a pickled :class:`~repro.core.snapshot.SnapshotDelta` against
+    this worker's linker and returns the epoch triple it landed on (the
+    parent sanity-logs it; :func:`~repro.core.snapshot.apply_delta` has
+    already raised :class:`SnapshotSyncError` on any divergence).
+    """
+    batcher = _worker_batcher()
+    snapshot.apply_delta(batcher.linker, pickle.loads(blob))
+    landed = SnapshotEpochs.of(batcher.linker)
+    return (landed.kb, landed.links, landed.graph)
 
 
 #: PERF counters shuttled from workers back to the parent per shard.
@@ -126,7 +161,7 @@ _SCORE_CACHE_COUNTERS: Tuple[str, ...] = tuple(
 
 
 class ParallelBatchLinker:
-    """Partition link requests by surface across a process pool."""
+    """Partition link requests by surface across a persistent process pool."""
 
     def __init__(
         self,
@@ -134,10 +169,13 @@ class ParallelBatchLinker:
         workers: Optional[int] = None,
         recency_bucket: float = 0.0,
         recipe: Optional[LinkerRecipe] = None,
+        min_pool_batch: Optional[int] = None,
     ) -> None:
         """``workers=None`` uses every core the process may schedule on;
         ``workers=1`` is the exact in-process fallback.  Exactly one of
-        ``linker`` / ``recipe`` may be omitted."""
+        ``linker`` / ``recipe`` may be omitted.  ``min_pool_batch``
+        overrides ``LinkerConfig.parallel_min_batch`` for dispatch (tests
+        pass 1 to force tiny batches onto the pool)."""
         if (linker is None) and (recipe is None):
             raise ValueError("either a linker or a recipe is required")
         if recency_bucket < 0:
@@ -146,25 +184,116 @@ class ParallelBatchLinker:
             linker=linker, recipe=recipe, recency_bucket=recency_bucket
         )
         self.workers = parallelism.resolve_workers(workers)
-        self._pool: Optional[parallelism.WorkerPool] = None
+        self._pool: Optional[parallelism.PersistentWorkerPool] = None
         self._local: Optional[MicroBatchLinker] = None
+        self._journal: Optional[MutationJournal] = (
+            MutationJournal() if linker is not None else None
+        )
+        self._shipped: Optional[SnapshotEpochs] = None
+        self._blob_bytes = 0
+        if min_pool_batch is not None:
+            self._min_pool_batch = min_pool_batch
+        elif linker is not None:
+            self._min_pool_batch = linker.config.parallel_min_batch
+        else:
+            self._min_pool_batch = 1
+        self._resync_ratio = (
+            linker.config.snapshot_resync_ratio if linker is not None else 0.25
+        )
 
     # ------------------------------------------------------------------ #
     # lifecycle
     # ------------------------------------------------------------------ #
-    def refresh(self) -> None:
-        """Tear down the worker snapshot; the next batch re-forks against
-        the linker's *current* state (call after confirm_link/prune)."""
+    def _ensure_pool(self) -> parallelism.PersistentWorkerPool:
+        """Start the pool from a freshly frozen full blob (the only time
+        the whole world crosses a process boundary)."""
         if self._pool is not None:
-            self._pool.close()
+            return self._pool
+        blob = snapshot.freeze(self._spec)
+        self._blob_bytes = len(blob)
+        PERF.incr("snapshot.full_syncs")
+        PERF.incr("snapshot.bytes_shipped", len(blob))
+        PERF.incr("snapshot.bytes_full", len(blob))
+        TRACE.event(
+            "snapshot.sync", kind="full", bytes=len(blob), workers=self.workers
+        )
+        self._pool = parallelism.PersistentWorkerPool(blob, self.workers)
+        linker = self._spec.linker
+        if linker is not None:
+            self._shipped = SnapshotEpochs.of(linker)
+            self._journal.clear()
+            self._journal.attach(linker.ckb, linker.graph)
+        return self._pool
+
+    def _teardown_pool(self, terminate: bool = False) -> None:
+        if self._pool is not None:
+            if terminate:
+                self._pool.terminate()
+            else:
+                self._pool.close()
             self._pool = None
+        if self._journal is not None:
+            self._journal.detach()
+            self._journal.clear()
+        self._shipped = None
+
+    def _resync(self, reason: str, terminate: bool = False) -> None:
+        PERF.incr("pool.resync")
+        TRACE.event("pool.resync", reason=reason, workers=self.workers)
+        self._teardown_pool(terminate=terminate)
+        self._ensure_pool()
+
+    def refresh(self) -> None:
+        """Bring workers up to the linker's *current* state (call after
+        ``confirm_link`` / pruning / graph edits).
+
+        No pool yet → nothing to do.  Epochs unchanged → nothing shipped
+        (idempotent).  Representable mutation set → one pickled delta
+        broadcast to every worker.  Anything else → full resync.
+        """
         self._local = None
+        if self._pool is None:
+            return
+        linker = self._spec.linker
+        if linker is None:
+            # Recipe-built workers rebuilt their own linker; the parent has
+            # no journal against it, so refresh is always a full resync.
+            self._resync("recipe")
+            return
+        current = SnapshotEpochs.of(linker)
+        if current == self._shipped:
+            PERF.incr("snapshot.refresh.noop")
+            return
+        delta = self._journal.cut(self._shipped, current)
+        if delta is None:
+            self._resync("unrepresentable")
+            return
+        blob = snapshot.freeze_delta(delta)
+        if len(blob) > self._blob_bytes * self._resync_ratio:
+            self._resync("delta_too_large")
+            return
+        try:
+            self._pool.broadcast(_apply_delta_blob, blob)
+        except SnapshotSyncError:
+            self._resync("worker_out_of_sync", terminate=True)
+            return
+        except WorkerCrashError:
+            PERF.incr("pool.restarts")
+            self._resync("worker_crash", terminate=True)
+            return
+        self._journal.clear()
+        self._shipped = current
+        PERF.incr("snapshot.deltas")
+        PERF.incr("snapshot.bytes_shipped", len(blob))
+        PERF.incr("snapshot.bytes_delta", len(blob))
+        PERF.observe("snapshot.delta_ratio", len(blob) / self._blob_bytes)
+        TRACE.event(
+            "snapshot.sync", kind="delta", bytes=len(blob), ops=len(delta.ops)
+        )
 
     def close(self) -> None:
         """Release worker processes (idempotent)."""
-        if self._pool is not None:
-            self._pool.close()
-            self._pool = None
+        self._teardown_pool()
 
     def __enter__(self) -> "ParallelBatchLinker":
         return self
@@ -179,19 +308,35 @@ class ParallelBatchLinker:
         """Link a batch; output order matches input order exactly."""
         if not requests:
             return []
-        if self.workers <= 1:
+        if self.workers <= 1 or len(requests) < self._min_pool_batch:
+            # Scale-aware dispatch: pipe + merge overhead beats the win on
+            # tiny batches, so run them on the parent's own batcher.  The
+            # results are bit-identical either way (the parity contract).
+            if self.workers > 1:
+                PERF.incr("dispatch.serial")
             if self._local is None:
                 self._local = self._spec.batcher()
             return self._local.link_batch(requests)
-        shards = self._partition(requests)
+        PERF.incr("dispatch.pool")
         PERF.incr("parallel.batches")
         PERF.incr("parallel.requests", len(requests))
-        if self._pool is None:
-            self._pool = parallelism.WorkerPool(self._spec, self.workers)
+        pool = self._ensure_pool()
+        shards = self._partition(requests)
+        tasks = [
+            (shard_of(shard[1][0].surface, self.workers), shard) for shard in shards
+        ]
+        try:
+            replies = pool.map_per_worker(_link_shard, tasks)
+        except WorkerCrashError:
+            # One retry after a full restart: the crashed worker's shard
+            # never produced results, and its siblings may have consumed a
+            # delta the replacement pool won't know about.
+            PERF.incr("pool.restarts")
+            TRACE.event("pool.restart", reason="worker_crash")
+            self._resync("worker_crash", terminate=True)
+            replies = self._pool.map_per_worker(_link_shard, tasks)
         results: List[Optional[LinkResult]] = [None] * len(requests)
-        for indices, linked, shard_metrics, perf_delta in self._pool.map(
-            _link_shard, shards
-        ):
+        for indices, linked, shard_metrics, perf_delta in replies:
             METRICS.merge(shard_metrics)
             for name, amount in perf_delta.items():
                 if amount:

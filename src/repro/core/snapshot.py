@@ -1,0 +1,252 @@
+"""Epoch-delta snapshot protocol for the persistent worker pool.
+
+The parallel batch linker ships the read-side world (linker + KB + graph)
+to its workers exactly once, as one immutable pickle blob.  After that,
+parent-side mutations travel as **deltas**: a replayable journal of the
+mutations since the last shipped epoch, verified on both ends against the
+PR-5 epoch counters.  The wire protocol (see ``docs/parallelism.md``):
+
+* :class:`SnapshotEpochs` — the ``(kb, links, graph)`` epoch triple that
+  names a world version.
+* :class:`MutationJournal` — a parent-side listener on the ckb and graph
+  recording one op tuple per effective mutation:
+  ``("link", entity, user, ts, tweet_id)``, ``("prune", cutoff)``,
+  ``("edge+", u, v)``, ``("edge-", u, v)``, ``("node",)``.
+* :class:`SnapshotDelta` — ``(base, target, ops)``; :func:`apply_delta`
+  replays the ops inside a worker and *proves* convergence by checking the
+  worker's epochs land exactly on ``target``.
+
+Anything the journal cannot represent — KB schema mutations (``kb.epoch``
+moved), epoch regressions (a rebuilt/restored world), or op counts that
+disagree with the epoch arithmetic (a mutation bypassed the listeners) —
+makes :meth:`MutationJournal.cut` return ``None`` and the parent falls
+back to a full resync.  Wrong is never an option; slow is the fallback.
+
+Journal instances attached to live structures are pickled *with* them when
+the full blob is frozen (they sit in the listener lists).  ``__getstate__``
+therefore ships an inert, empty copy: workers must never record — their
+only mutations are delta replays.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+from typing import List, Optional, Tuple
+
+from repro.errors import SnapshotSyncError
+
+__all__ = [
+    "MutationJournal",
+    "SnapshotDelta",
+    "SnapshotEpochs",
+    "apply_delta",
+    "freeze",
+    "freeze_delta",
+]
+
+#: Journal ops that bump ``ckb.link_epoch`` (one bump each).
+_LINK_OPS = ("link", "prune")
+#: Journal ops that bump ``graph.epoch`` (one bump each).
+_GRAPH_OPS = ("edge+", "edge-", "node")
+
+
+@dataclasses.dataclass(frozen=True, order=True)
+class SnapshotEpochs:
+    """The epoch triple naming one version of the read-side world."""
+
+    kb: int
+    links: int
+    graph: int
+
+    @classmethod
+    def of(cls, linker: object) -> "SnapshotEpochs":
+        """Read the current triple off a :class:`SocialTemporalLinker`."""
+        ckb = linker.ckb  # type: ignore[attr-defined]
+        graph = linker.graph  # type: ignore[attr-defined]
+        return cls(
+            kb=ckb.kb.epoch.value,
+            links=ckb.link_epoch.value,
+            graph=graph.epoch.value,
+        )
+
+    def regressed_from(self, base: "SnapshotEpochs") -> bool:
+        """True if any counter moved backwards relative to ``base``."""
+        return self.kb < base.kb or self.links < base.links or self.graph < base.graph
+
+
+@dataclasses.dataclass(frozen=True)
+class SnapshotDelta:
+    """A verified-replayable mutation batch from ``base`` to ``target``."""
+
+    base: SnapshotEpochs
+    target: SnapshotEpochs
+    ops: Tuple[Tuple, ...]
+
+
+class MutationJournal:
+    """Records replayable mutations of a linker's ckb and graph.
+
+    Attach once (``attach``) right after the full blob is frozen; every
+    subsequent effective mutation lands in ``_ops``.  ``cut()`` turns the
+    recorded ops into a :class:`SnapshotDelta` — or ``None`` when the
+    journal provably cannot reproduce the epoch movement, which is the
+    parent's signal to resync.
+    """
+
+    def __init__(self) -> None:
+        self._ops: List[Tuple] = []
+        self._ckb: Optional[object] = None
+        self._graph: Optional[object] = None
+        #: Inert copies (worker-side unpickles) never record.
+        self.recording = True
+
+    # ------------------------------------------------------------------ #
+    # listener protocol
+    # ------------------------------------------------------------------ #
+    def on_link_record(self, entity_id: int, record: object) -> None:
+        if self.recording:
+            self._ops.append(
+                (
+                    "link",
+                    entity_id,
+                    record.user,  # type: ignore[attr-defined]
+                    record.timestamp,  # type: ignore[attr-defined]
+                    record.tweet_id,  # type: ignore[attr-defined]
+                )
+            )
+
+    def on_prune(self, cutoff: float) -> None:
+        if self.recording:
+            self._ops.append(("prune", cutoff))
+
+    def on_graph_op(self, op: Tuple) -> None:
+        if self.recording:
+            self._ops.append(op)
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def attach(self, ckb: object, graph: object) -> None:
+        """Start recording mutations of ``ckb`` and ``graph`` (idempotent)."""
+        self.detach()
+        ckb.add_link_listener(self)  # type: ignore[attr-defined]
+        graph.add_mutation_listener(self)  # type: ignore[attr-defined]
+        self._ckb, self._graph = ckb, graph
+
+    def detach(self) -> None:
+        if self._ckb is not None:
+            self._ckb.remove_link_listener(self)  # type: ignore[attr-defined]
+        if self._graph is not None:
+            self._graph.remove_mutation_listener(self)  # type: ignore[attr-defined]
+        self._ckb = self._graph = None
+
+    def clear(self) -> None:
+        self._ops.clear()
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    # The journal rides inside the frozen world blob (it is a registered
+    # listener of the structures being pickled); the copy a worker gets
+    # back must be inert and empty, or worker-side replays would re-record
+    # themselves and the journal would double on every full sync.
+    def __getstate__(self) -> dict:
+        return {"recording": False}
+
+    def __setstate__(self, state: dict) -> None:
+        self._ops = []
+        self._ckb = self._graph = None
+        self.recording = bool(state.get("recording", False))
+
+    # ------------------------------------------------------------------ #
+    # delta cutting
+    # ------------------------------------------------------------------ #
+    def cut(
+        self, base: SnapshotEpochs, target: SnapshotEpochs
+    ) -> Optional[SnapshotDelta]:
+        """The delta from ``base`` to ``target``, or ``None`` if only a
+        full resync can get a worker there.
+
+        ``None`` cases: the KB schema epoch moved (KB mutations are not
+        journaled), any epoch regressed (a restored checkpoint or rebuilt
+        world — replay would corrupt), or the recorded op counts disagree
+        with the epoch arithmetic (some mutation bypassed the listeners,
+        e.g. the journal was attached late).
+        """
+        if target.kb != base.kb:
+            return None
+        if target.regressed_from(base):
+            return None
+        link_ops = sum(1 for op in self._ops if op[0] in _LINK_OPS)
+        graph_ops = sum(1 for op in self._ops if op[0] in _GRAPH_OPS)
+        if link_ops != target.links - base.links:
+            return None
+        if graph_ops != target.graph - base.graph:
+            return None
+        if link_ops + graph_ops != len(self._ops):
+            return None
+        return SnapshotDelta(base=base, target=target, ops=tuple(self._ops))
+
+
+# ---------------------------------------------------------------------- #
+# wire encoding
+# ---------------------------------------------------------------------- #
+def freeze(spec: object) -> bytes:
+    """Pickle the full worker spec into the immutable fork-once blob."""
+    return pickle.dumps(spec, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def freeze_delta(delta: SnapshotDelta) -> bytes:
+    """Pickle a delta for the pool's task channel."""
+    return pickle.dumps(delta, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def apply_delta(linker: object, delta: SnapshotDelta) -> None:
+    """Replay ``delta`` against a worker's linker, verifying convergence.
+
+    Raises :class:`SnapshotSyncError` when the worker's current epochs are
+    not exactly ``delta.base`` or, after replay, not exactly
+    ``delta.target`` — either way the worker's world can no longer be
+    trusted and the parent must resync it from a full blob.
+    """
+    current = SnapshotEpochs.of(linker)
+    if current != delta.base:
+        raise SnapshotSyncError(
+            f"delta base {delta.base} does not match worker epochs {current}"
+        )
+    ckb = linker.ckb  # type: ignore[attr-defined]
+    graph = linker.graph  # type: ignore[attr-defined]
+    graph_mutated = False
+    for op in delta.ops:
+        kind = op[0]
+        if kind == "link":
+            # confirm_link keeps the worker's influential-user cache and
+            # entity versions coherent, exactly as the parent's own call did.
+            linker.confirm_link(  # type: ignore[attr-defined]
+                op[1], user=op[2], timestamp=op[3], tweet_id=op[4]
+            )
+        elif kind == "prune":
+            ckb.prune_before(op[1])
+            linker.invalidate_influence_cache()  # type: ignore[attr-defined]
+        elif kind == "edge+":
+            graph.add_edge(op[1], op[2])
+            graph_mutated = True
+        elif kind == "edge-":
+            graph.remove_edge(op[1], op[2])
+            graph_mutated = True
+        elif kind == "node":
+            graph.add_node()
+            graph_mutated = True
+        else:
+            raise SnapshotSyncError(f"unknown journal op {kind!r}")
+    if graph_mutated:
+        # Cached-BFS providers memoize per-source rows with no epoch
+        # awareness; replaying an edge op without dropping them would leave
+        # the worker scoring interest against the pre-delta graph.
+        linker.invalidate_reachability_cache()  # type: ignore[attr-defined]
+    landed = SnapshotEpochs.of(linker)
+    if landed != delta.target:
+        raise SnapshotSyncError(
+            f"replay landed on {landed}, delta targeted {delta.target}"
+        )

@@ -86,7 +86,14 @@ class ComplementedKnowledgebase:
         self._total_links += 1
         self.link_epoch.bump()
         for listener in self._link_listeners:
-            listener.on_link(entity_id, timestamp)  # type: ignore[attr-defined]
+            # Rich subscribers (the snapshot mutation journal) need the full
+            # record to replay the mutation in a worker; plain subscribers
+            # (BurstTracker) only track the timestamp histogram.
+            rich = getattr(listener, "on_link_record", None)
+            if rich is not None:
+                rich(entity_id, record)
+            else:
+                listener.on_link(entity_id, timestamp)  # type: ignore[attr-defined]
 
     def bulk_link(
         self, links: Iterable[Tuple[int, int, float]]
@@ -134,8 +141,16 @@ class ComplementedKnowledgebase:
         ``listener`` must expose ``on_link(entity_id, timestamp)`` and
         ``on_prune(cutoff)``; :class:`repro.cache.BurstTracker` uses this
         to maintain sliding-window counts as deltas instead of rescans.
+        A listener exposing ``on_link_record(entity_id, record)`` receives
+        the full :class:`LinkedTweet` instead of ``on_link`` — the form the
+        epoch-delta snapshot journal needs to replay links in workers.
         """
         self._link_listeners.append(listener)
+
+    def remove_link_listener(self, listener: object) -> None:
+        """Unsubscribe; unknown listeners are ignored."""
+        if listener in self._link_listeners:
+            self._link_listeners.remove(listener)
 
     # ------------------------------------------------------------------ #
     # paper notation accessors

@@ -22,7 +22,10 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Any, Callable, Iterable, List, Optional, Sequence, TypeVar
+import pickle
+from typing import Any, Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.errors import WorkerCrashError
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -107,6 +110,151 @@ class WorkerPool:
         self._pool.join()
 
     def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+
+def _persistent_worker_main(conn: Any, blob: bytes) -> None:
+    """Worker loop of :class:`PersistentWorkerPool`.
+
+    Unpickles the world blob exactly once, then serves ``("call", fn,
+    arg)`` messages until ``("stop",)`` or pipe EOF.  ``fn`` must be an
+    importable module-level callable (it travels by reference).  The
+    pickled *blob* — rather than the raw payload — is deliberate even
+    under ``fork``: a bytes object inherited copy-on-write stays one clean
+    page run, whereas an inherited live object graph gets its refcount
+    pages dirtied on first touch, and ``spawn`` platforms behave
+    identically by construction.
+    """
+    _install_payload(pickle.loads(blob))
+    del blob
+    while True:
+        try:
+            message = conn.recv()
+        except EOFError:
+            return
+        if message[0] == "stop":
+            conn.close()
+            return
+        fn, arg = message[1], message[2]
+        try:
+            result = fn(arg)
+        except Exception as error:  # repro: noqa[ERR-002] -- pool boundary: every task failure must ride back to the parent as a reply (which re-raises it) instead of killing the worker loop
+            try:
+                conn.send(("err", error))
+            except pickle.PicklingError:
+                conn.send(("err", WorkerCrashError(f"unpicklable worker error: {error!r}")))
+            continue
+        conn.send(("ok", result))
+
+
+class PersistentWorkerPool:
+    """Long-lived workers over per-worker duplex pipes.
+
+    Unlike :class:`WorkerPool` (a thin ``multiprocessing.Pool`` wrapper
+    rebuilt on every refresh), these workers are *addressable*: shard
+    ``i`` always runs on worker ``i``, and :meth:`broadcast` reaches every
+    worker exactly once — the primitive epoch-delta updates need, which a
+    task-stealing pool cannot express.  A dead worker surfaces as
+    :class:`~repro.errors.WorkerCrashError` on the next send/recv; the
+    owner is expected to terminate the pool and rebuild from a fresh
+    snapshot (the pool itself never restarts workers, because a restarted
+    worker would hold the *original* blob plus none of the shipped deltas).
+    """
+
+    def __init__(self, blob: bytes, workers: int) -> None:
+        if workers < 2:
+            raise ValueError("PersistentWorkerPool needs at least 2 workers; "
+                             "run in-process for workers=1")
+        self._context = multiprocessing.get_context(start_method())
+        self.workers = workers
+        self._processes: List[Any] = []
+        self._pipes: List[Any] = []
+        for _ in range(workers):
+            parent_end, child_end = self._context.Pipe(duplex=True)
+            process = self._context.Process(
+                target=_persistent_worker_main,
+                args=(child_end, blob),
+                daemon=True,
+            )
+            process.start()
+            child_end.close()
+            self._processes.append(process)
+            self._pipes.append(parent_end)
+
+    # ------------------------------------------------------------------ #
+    # messaging
+    # ------------------------------------------------------------------ #
+    def _send(self, index: int, fn: Callable[[Any], Any], arg: Any) -> None:
+        try:
+            self._pipes[index].send(("call", fn, arg))
+        except (BrokenPipeError, OSError) as error:
+            raise WorkerCrashError(f"worker {index} pipe closed on send") from error
+
+    def _recv(self, index: int) -> Any:
+        try:
+            message = self._pipes[index].recv()
+        except (EOFError, OSError) as error:
+            raise WorkerCrashError(f"worker {index} died mid-task") from error
+        if message[0] == "ok":
+            return message[1]
+        raise message[1]
+
+    def map_per_worker(
+        self, fn: Callable[[T], R], tasks: Sequence[Tuple[int, T]]
+    ) -> List[R]:
+        """Run ``fn(arg)`` on the named worker for each ``(worker, arg)``.
+
+        All sends go out before any reply is read, so workers overlap;
+        replies come back in task order.  Worker indices must be unique
+        per call (one in-flight task per pipe).
+        """
+        for index, arg in tasks:
+            self._send(index, fn, arg)
+        return [self._recv(index) for index, _ in tasks]
+
+    def broadcast(self, fn: Callable[[T], R], arg: T) -> List[R]:
+        """Run ``fn(arg)`` on *every* worker (delta shipping)."""
+        for index in range(self.workers):
+            self._send(index, fn, arg)
+        return [self._recv(index) for index in range(self.workers)]
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    def alive(self) -> bool:
+        return all(process.is_alive() for process in self._processes)
+
+    def close(self) -> None:
+        """Graceful shutdown: stop message, then join."""
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for pipe in self._pipes:
+            pipe.close()
+        for process in self._processes:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+                process.join(timeout=5.0)
+        self._pipes, self._processes = [], []
+
+    def terminate(self) -> None:
+        """Hard shutdown (after a crash: surviving workers may hold stale
+        deltas, so nothing graceful is worth saying to them)."""
+        for pipe in self._pipes:
+            pipe.close()
+        for process in self._processes:
+            process.terminate()
+        for process in self._processes:
+            process.join(timeout=5.0)
+        self._pipes, self._processes = [], []
+
+    def __enter__(self) -> "PersistentWorkerPool":
         return self
 
     def __exit__(self, *exc_info: object) -> None:

@@ -24,6 +24,7 @@ import time
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.config import LinkerConfig
+from repro.core.batch import LinkRequest
 from repro.core.linker import LinkResult
 from repro.errors import (
     BadRequestError,
@@ -170,7 +171,16 @@ class ServeApp:
         top_k = _require_int(request, "top_k", default=3)
         if top_k < 1:
             raise BadRequestError("'top_k' must be at least 1")
-        result = tenant.linker.link(surface, user, now)
+        if tenant.batcher is not None:
+            # Micro-batch path: the request parks on the tenant's coalescer
+            # and rides a batch to the backend.  Results are identical to
+            # the direct call — coalescing never changes scoring — so the
+            # response body does not depend on which path served it.
+            result = tenant.batcher.link_sync(  # type: ignore[attr-defined]
+                LinkRequest(surface=surface, user=user, now=now)
+            )
+        else:
+            result = tenant.linker.link(surface, user, now)
         return 200, _render_link(tenant, result, top_k)
 
 

@@ -156,6 +156,12 @@ class Tenant:
         # deterministic under the virtual clock
         self.requests = 0
         self.ratelimited = 0
+        #: Optional :class:`repro.core.microbatch.MicroBatchFrontEnd`;
+        #: when set (``repro serve --microbatch``), link requests coalesce
+        #: through it instead of hitting ``linker.link`` one by one.  The
+        #: in-process load harness leaves it ``None`` so replays stay
+        #: byte-identical and scheduling-free.
+        self.batcher: Optional[object] = None
 
     @property
     def name(self) -> str:

@@ -331,6 +331,73 @@ class TestParallelSafetyRules:
             path="src/repro/parallelism.py",
         )
 
+    def test_par003_flags_pickle_in_link_batch(self):
+        findings = check_snippet(
+            "PAR-003",
+            """
+            import pickle
+
+            class Linker:
+                def link_batch(self, requests):
+                    blob = pickle.dumps(self._spec)
+                    return self._pool.map(blob, requests)
+            """,
+            path="src/repro/core/parallel.py",
+        )
+        assert len(findings) == 1
+        assert "hot path" in findings[0].message
+
+    def test_par003_flags_bare_from_import(self):
+        findings = check_snippet(
+            "PAR-003",
+            """
+            from pickle import loads
+
+            def _link_shard(shard):
+                return loads(shard)
+            """,
+            path="src/repro/parallelism.py",
+        )
+        assert len(findings) == 1
+
+    def test_par003_allows_pickle_outside_per_batch_paths(self):
+        assert not check_snippet(
+            "PAR-003",
+            """
+            import pickle
+
+            class Pool:
+                def refresh(self):
+                    blob = pickle.dumps(self._delta)
+                    self._pool.broadcast_bytes(blob)
+            """,
+            path="src/repro/core/parallel.py",
+        )
+
+    def test_par003_ignores_other_modules(self):
+        assert not check_snippet(
+            "PAR-003",
+            """
+            import pickle
+
+            def link_batch(requests):
+                return pickle.dumps(requests)
+            """,
+            path="src/repro/kb/checkpoint.py",
+        )
+
+    def test_par003_ignores_json_dumps(self):
+        assert not check_snippet(
+            "PAR-003",
+            """
+            import json
+
+            def link_batch(requests):
+                return json.dumps(requests)
+            """,
+            path="src/repro/core/parallel.py",
+        )
+
 
 class TestNumericRules:
     def test_num001_flags_float_equality_on_scores(self):

@@ -1,0 +1,182 @@
+"""Micro-batch coalescing front end: batching behaviour, parity, bridge."""
+
+import asyncio
+
+import pytest
+
+from repro.config import DAY, LinkerConfig
+from repro.core.batch import LinkRequest, MicroBatchLinker
+from repro.core.linker import SocialTemporalLinker
+from repro.core.microbatch import MicroBatchFrontEnd
+from repro.graph.digraph import DiGraph
+from repro.obs.metrics import METRICS
+
+
+@pytest.fixture
+def backend(tiny_ckb):
+    graph = DiGraph(13)
+    graph.add_edge(0, 10)
+    graph.add_edge(5, 11)
+    linker = SocialTemporalLinker(
+        tiny_ckb, graph, config=LinkerConfig(burst_threshold=2, influential_users=2)
+    )
+    return MicroBatchLinker(linker)
+
+
+def _requests(n=5):
+    base = [
+        LinkRequest("jordan", user=0, now=8 * DAY),
+        LinkRequest("jordan", user=5, now=8 * DAY),
+        LinkRequest("nba", user=0, now=8 * DAY),
+        LinkRequest("jordan", user=0, now=2 * DAY),
+        LinkRequest("qqqqqq", user=0, now=0.0),
+    ]
+    return base[:n]
+
+
+class _ExplodingBackend:
+    def link_batch(self, requests):
+        raise RuntimeError("backend down")
+
+
+class _RecordingBackend:
+    """Wraps a real backend, remembering every batch it was handed."""
+
+    def __init__(self, inner):
+        self.inner = inner
+        self.batches = []
+
+    def link_batch(self, requests):
+        self.batches.append(list(requests))
+        return self.inner.link_batch(requests)
+
+
+class TestValidation:
+    def test_negative_delay_rejected(self, backend):
+        with pytest.raises(ValueError):
+            MicroBatchFrontEnd(backend, max_delay_s=-0.001)
+
+    def test_zero_batch_rejected(self, backend):
+        with pytest.raises(ValueError):
+            MicroBatchFrontEnd(backend, max_batch=0)
+
+    def test_link_sync_requires_start(self, backend):
+        front_end = MicroBatchFrontEnd(backend)
+        with pytest.raises(ValueError):
+            front_end.link_sync(_requests(1)[0])
+
+
+class TestCoalescing:
+    def test_concurrent_arrivals_share_one_batch(self, backend):
+        recorder = _RecordingBackend(backend)
+        front_end = MicroBatchFrontEnd(recorder, max_delay_s=0.05, max_batch=64)
+        batches_before = METRICS.counter("microbatch.batches")
+
+        async def drive():
+            results = await asyncio.gather(
+                *(front_end.link(r) for r in _requests())
+            )
+            await front_end.drain()
+            return results
+
+        results = asyncio.run(drive())
+        assert len(recorder.batches) == 1
+        assert len(recorder.batches[0]) == len(_requests())
+        assert METRICS.counter("microbatch.batches") == batches_before + 1
+        assert [r.surface for r in results] == [r.surface for r in _requests()]
+
+    def test_max_batch_flushes_without_waiting(self, backend):
+        recorder = _RecordingBackend(backend)
+        # delay is effectively forever: only the size trigger can flush
+        front_end = MicroBatchFrontEnd(recorder, max_delay_s=30.0, max_batch=2)
+
+        async def drive():
+            results = await asyncio.gather(
+                *(front_end.link(r) for r in _requests(4))
+            )
+            await front_end.drain()
+            return results
+
+        results = asyncio.run(drive())
+        assert [len(b) for b in recorder.batches] == [2, 2]
+        assert len(results) == 4
+
+    def test_results_match_direct_backend(self, backend):
+        front_end = MicroBatchFrontEnd(backend, max_delay_s=0.01)
+
+        async def drive():
+            results = await asyncio.gather(
+                *(front_end.link(r) for r in _requests())
+            )
+            await front_end.drain()
+            return results
+
+        results = asyncio.run(drive())
+        expected = backend.link_batch(_requests())
+        for a, b in zip(results, expected):
+            assert a.candidates == b.candidates
+            for ca, cb in zip(a.ranked, b.ranked):
+                assert ca.entity_id == cb.entity_id
+                assert ca.score == cb.score
+
+    def test_batch_size_histogram_recorded(self, backend):
+        front_end = MicroBatchFrontEnd(backend, max_delay_s=0.01)
+
+        async def drive():
+            await asyncio.gather(*(front_end.link(r) for r in _requests(3)))
+            await front_end.drain()
+
+        asyncio.run(drive())
+        histogram = METRICS.histogram("microbatch.batch_size")
+        assert histogram is not None
+        assert histogram.count >= 1
+
+
+class TestFailure:
+    def test_backend_error_reaches_every_waiter(self):
+        front_end = MicroBatchFrontEnd(_ExplodingBackend(), max_delay_s=0.01)
+
+        async def drive():
+            futures = [
+                asyncio.ensure_future(front_end.link(r)) for r in _requests(3)
+            ]
+            done = await asyncio.gather(*futures, return_exceptions=True)
+            await front_end.drain()
+            return done
+
+        outcomes = asyncio.run(drive())
+        assert len(outcomes) == 3
+        for outcome in outcomes:
+            assert isinstance(outcome, RuntimeError)
+
+
+class TestSyncBridge:
+    def test_link_sync_round_trip(self, backend):
+        front_end = MicroBatchFrontEnd(backend, max_delay_s=0.001)
+        front_end.start()
+        front_end.start()  # idempotent
+        try:
+            request = _requests(1)[0]
+            result = front_end.link_sync(request)
+            expected = backend.link_batch([request])[0]
+            assert result.candidates == expected.candidates
+            assert [c.score for c in result.ranked] == [
+                c.score for c in expected.ranked
+            ]
+        finally:
+            front_end.stop()
+
+    def test_stop_then_link_sync_raises(self, backend):
+        front_end = MicroBatchFrontEnd(backend, max_delay_s=0.001)
+        front_end.start()
+        front_end.stop()
+        with pytest.raises(ValueError):
+            front_end.link_sync(_requests(1)[0])
+
+
+class TestFromConfig:
+    def test_knobs_come_from_config(self, backend):
+        config = LinkerConfig(microbatch_max_delay_ms=7.0, microbatch_max_batch=9)
+        front_end = MicroBatchFrontEnd.from_config(backend, config)
+        assert front_end._max_delay_s == pytest.approx(0.007)
+        assert front_end._max_batch == 9

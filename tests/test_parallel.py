@@ -77,7 +77,7 @@ class TestParity:
     def test_workers_3_matches_workers_1(self, linker):
         with ParallelBatchLinker(linker, workers=1) as sequential:
             expected = sequential.link_batch(_requests())
-        with ParallelBatchLinker(linker, workers=3) as parallel:
+        with ParallelBatchLinker(linker, workers=3, min_pool_batch=1) as parallel:
             results = parallel.link_batch(_requests())
         _assert_same_results(results, expected)
 
@@ -90,12 +90,12 @@ class TestParity:
             for m in t.mentions
         ]
         expected = MicroBatchLinker(linker).link_batch(requests)
-        with ParallelBatchLinker(linker, workers=2) as parallel:
+        with ParallelBatchLinker(linker, workers=2, min_pool_batch=1) as parallel:
             results = parallel.link_batch(requests)
         _assert_same_results(results, expected)
 
     def test_output_order_preserved(self, linker):
-        with ParallelBatchLinker(linker, workers=2) as parallel:
+        with ParallelBatchLinker(linker, workers=2, min_pool_batch=1) as parallel:
             results = parallel.link_batch(_requests())
         assert [r.surface for r in results] == [r.surface for r in _requests()]
         assert [r.user for r in results] == [r.user for r in _requests()]
@@ -112,7 +112,7 @@ class TestParity:
             ),
             Tweet(tweet_id=3, user=6, timestamp=8 * DAY, text="hello", mentions=()),
         ]
-        with ParallelBatchLinker(linker, workers=2) as parallel:
+        with ParallelBatchLinker(linker, workers=2, min_pool_batch=1) as parallel:
             grouped = parallel.link_tweets(tweets)
         assert len(grouped[1]) == 2
         assert len(grouped[2]) == 1
@@ -126,7 +126,7 @@ class TestLifecycle:
             assert parallel.link_batch([]) == []
 
     def test_close_is_idempotent(self, linker):
-        parallel = ParallelBatchLinker(linker, workers=2)
+        parallel = ParallelBatchLinker(linker, workers=2, min_pool_batch=1)
         parallel.link_batch(_requests())
         parallel.close()
         parallel.close()
@@ -134,7 +134,7 @@ class TestLifecycle:
     def test_snapshot_stale_until_refresh(self, linker, tiny_ckb):
         """Workers see the fork-time linker; refresh() re-snapshots it."""
         request = [LinkRequest("jordan", user=6, now=100 * DAY)]
-        parallel = ParallelBatchLinker(linker, workers=2)
+        parallel = ParallelBatchLinker(linker, workers=2, min_pool_batch=1)
         try:
             before = parallel.link_batch(request)
             assert before[0].best.entity_id == 0  # popularity favours e0

@@ -1,0 +1,383 @@
+"""Persistent pool lifecycle: crash recovery, epoch-delta refresh, dispatch.
+
+The parity suite lives in ``tests/test_parallel.py``; this module covers
+the fork-once / epoch-delta protocol itself — what ships, when the parent
+falls back to a full resync, and how a dead worker is survived.
+"""
+
+import dataclasses
+import os
+import pickle
+
+import pytest
+
+from repro.config import DAY, LinkerConfig
+from repro.core.batch import LinkRequest, MicroBatchLinker
+from repro.core.parallel import ParallelBatchLinker
+from repro.core.snapshot import (
+    MutationJournal,
+    SnapshotDelta,
+    SnapshotEpochs,
+    apply_delta,
+)
+from repro.errors import SnapshotSyncError, WorkerCrashError
+from repro.graph.digraph import DiGraph
+from repro.kb.complemented import ComplementedKnowledgebase
+from repro.parallelism import PersistentWorkerPool
+from repro.perf import PERF
+
+
+@pytest.fixture
+def linker(tiny_ckb):
+    from repro.core.linker import SocialTemporalLinker
+
+    graph = DiGraph(13)
+    graph.add_edge(0, 10)
+    graph.add_edge(5, 11)
+    return SocialTemporalLinker(
+        tiny_ckb, graph, config=LinkerConfig(burst_threshold=2, influential_users=2)
+    )
+
+
+def _requests():
+    return [
+        LinkRequest("jordan", user=0, now=8 * DAY),
+        LinkRequest("jordan", user=5, now=8 * DAY),
+        LinkRequest("nba", user=0, now=8 * DAY),
+        LinkRequest("jordan", user=0, now=2 * DAY),
+        LinkRequest("qqqqqq", user=0, now=0.0),
+    ]
+
+
+def _assert_same_results(actual, expected):
+    assert len(actual) == len(expected)
+    for a, b in zip(actual, expected):
+        assert (a.surface, a.user, a.timestamp) == (b.surface, b.user, b.timestamp)
+        for ca, cb in zip(a.ranked, b.ranked):
+            assert ca.entity_id == cb.entity_id
+            assert ca.score == cb.score
+
+
+def _kill_workers(parallel):
+    """Hard-kill every pool worker; the next pipe use must surface a crash."""
+    for process in parallel._pool._processes:
+        process.terminate()
+    for process in parallel._pool._processes:
+        process.join(timeout=5.0)
+
+
+# Module-level so they pickle by reference into workers.
+def _double(x):
+    return 2 * x
+
+
+def _boom(_arg):
+    raise ValueError("boom")
+
+
+def _exit_now(_arg):  # pragma: no cover - runs only inside a worker
+    os._exit(13)
+
+
+class TestPersistentWorkerPool:
+    """The raw pipe protocol, independent of any linker."""
+
+    def test_rejects_single_worker(self):
+        with pytest.raises(ValueError):
+            PersistentWorkerPool(pickle.dumps(None), workers=1)
+
+    def test_map_per_worker_preserves_task_order(self):
+        with PersistentWorkerPool(pickle.dumps(None), workers=2) as pool:
+            assert pool.map_per_worker(_double, [(1, 10), (0, 20)]) == [20, 40]
+
+    def test_broadcast_reaches_every_worker(self):
+        with PersistentWorkerPool(pickle.dumps(None), workers=3) as pool:
+            assert pool.broadcast(_double, 7) == [14, 14, 14]
+
+    def test_worker_exception_reraised_typed_in_parent(self):
+        with PersistentWorkerPool(pickle.dumps(None), workers=2) as pool:
+            with pytest.raises(ValueError, match="boom"):
+                pool.map_per_worker(_boom, [(0, None)])
+            # the worker survives its own task failure
+            assert pool.broadcast(_double, 1) == [2, 2]
+
+    def test_dead_worker_raises_worker_crash(self):
+        pool = PersistentWorkerPool(pickle.dumps(None), workers=2)
+        try:
+            with pytest.raises(WorkerCrashError):
+                pool.broadcast(_exit_now, None)
+        finally:
+            pool.terminate()
+
+
+class TestCrashRecovery:
+    def test_crash_during_batch_restarts_pool_with_full_resync(self, linker):
+        parallel = ParallelBatchLinker(linker, workers=2, min_pool_batch=1)
+        try:
+            before = parallel.link_batch(_requests())
+            restarts = PERF.counter("pool.restarts")
+            resyncs = PERF.counter("pool.resync")
+            full_syncs = PERF.counter("snapshot.full_syncs")
+            _kill_workers(parallel)
+            after = parallel.link_batch(_requests())
+            _assert_same_results(after, before)
+            assert PERF.counter("pool.restarts") == restarts + 1
+            assert PERF.counter("pool.resync") == resyncs + 1
+            assert PERF.counter("snapshot.full_syncs") == full_syncs + 1
+            assert parallel._pool.alive()
+        finally:
+            parallel.close()
+
+    def test_crash_during_refresh_resyncs(self, linker):
+        parallel = ParallelBatchLinker(linker, workers=2, min_pool_batch=1)
+        try:
+            parallel.link_batch(_requests())
+            _kill_workers(parallel)
+            restarts = PERF.counter("pool.restarts")
+            linker.confirm_link(2, user=12, timestamp=50.0)
+            parallel.refresh()
+            assert PERF.counter("pool.restarts") == restarts + 1
+            # the rebuilt pool carries the post-mutation world
+            fresh = parallel.link_batch(_requests())
+            expected = MicroBatchLinker(linker).link_batch(_requests())
+            _assert_same_results(fresh, expected)
+        finally:
+            parallel.close()
+
+
+class TestRefresh:
+    def test_refresh_noop_when_epochs_unchanged(self, linker):
+        parallel = ParallelBatchLinker(linker, workers=2, min_pool_batch=1)
+        try:
+            parallel.link_batch(_requests())
+            noops = PERF.counter("snapshot.refresh.noop")
+            deltas = PERF.counter("snapshot.deltas")
+            parallel.refresh()
+            parallel.refresh()
+            assert PERF.counter("snapshot.refresh.noop") == noops + 2
+            assert PERF.counter("snapshot.deltas") == deltas
+        finally:
+            parallel.close()
+
+    def test_refresh_before_pool_exists_is_free(self, linker):
+        parallel = ParallelBatchLinker(linker, workers=2, min_pool_batch=1)
+        full_syncs = PERF.counter("snapshot.full_syncs")
+        parallel.refresh()
+        assert parallel._pool is None
+        assert PERF.counter("snapshot.full_syncs") == full_syncs
+
+    def test_mutations_ship_as_delta_not_resync(self, linker):
+        parallel = ParallelBatchLinker(linker, workers=2, min_pool_batch=1)
+        try:
+            parallel.link_batch(_requests())
+            deltas = PERF.counter("snapshot.deltas")
+            resyncs = PERF.counter("pool.resync")
+            for i in range(5):
+                linker.confirm_link(2, user=12, timestamp=float(i))
+            parallel.refresh()
+            assert PERF.counter("snapshot.deltas") == deltas + 1
+            assert PERF.counter("pool.resync") == resyncs
+            results = parallel.link_batch(_requests())
+            expected = MicroBatchLinker(linker).link_batch(_requests())
+            _assert_same_results(results, expected)
+        finally:
+            parallel.close()
+
+    def test_delta_after_prune(self, linker):
+        parallel = ParallelBatchLinker(linker, workers=2, min_pool_batch=1)
+        try:
+            parallel.link_batch(_requests())
+            deltas = PERF.counter("snapshot.deltas")
+            resyncs = PERF.counter("pool.resync")
+            linker.confirm_link(2, user=12, timestamp=9.5 * DAY)
+            linker.ckb.prune_before(1.5 * DAY)
+            linker.invalidate_influence_cache()
+            parallel.refresh()
+            assert PERF.counter("snapshot.deltas") == deltas + 1
+            assert PERF.counter("pool.resync") == resyncs
+            results = parallel.link_batch(_requests())
+            expected = MicroBatchLinker(linker).link_batch(_requests())
+            _assert_same_results(results, expected)
+        finally:
+            parallel.close()
+
+    def test_graph_mutations_ship_as_delta(self, linker):
+        parallel = ParallelBatchLinker(linker, workers=2, min_pool_batch=1)
+        try:
+            parallel.link_batch(_requests())
+            deltas = PERF.counter("snapshot.deltas")
+            linker.graph.add_edge(1, 10)
+            linker.graph.remove_edge(0, 10)
+            parallel.refresh()
+            assert PERF.counter("snapshot.deltas") == deltas + 1
+            results = parallel.link_batch(_requests())
+            expected = MicroBatchLinker(linker).link_batch(_requests())
+            _assert_same_results(results, expected)
+        finally:
+            parallel.close()
+
+    def test_epoch_regression_forces_resync(self, linker):
+        """A shipped state ahead of the live world (restored checkpoint,
+        rebuilt structure) can never be walked backwards by replay."""
+        parallel = ParallelBatchLinker(linker, workers=2, min_pool_batch=1)
+        try:
+            parallel.link_batch(_requests())
+            resyncs = PERF.counter("pool.resync")
+            parallel._shipped = dataclasses.replace(
+                parallel._shipped, links=parallel._shipped.links + 100
+            )
+            linker.confirm_link(2, user=12, timestamp=1.0)
+            parallel.refresh()
+            assert PERF.counter("pool.resync") == resyncs + 1
+            results = parallel.link_batch(_requests())
+            expected = MicroBatchLinker(linker).link_batch(_requests())
+            _assert_same_results(results, expected)
+        finally:
+            parallel.close()
+
+    def test_oversized_delta_forces_resync(self, tiny_ckb):
+        from repro.core.linker import SocialTemporalLinker
+
+        graph = DiGraph(13)
+        linker = SocialTemporalLinker(
+            tiny_ckb,
+            graph,
+            config=LinkerConfig(
+                burst_threshold=2, influential_users=2, snapshot_resync_ratio=1e-9
+            ),
+        )
+        parallel = ParallelBatchLinker(linker, workers=2, min_pool_batch=1)
+        try:
+            parallel.link_batch(_requests())
+            resyncs = PERF.counter("pool.resync")
+            deltas = PERF.counter("snapshot.deltas")
+            linker.confirm_link(2, user=12, timestamp=1.0)
+            parallel.refresh()
+            assert PERF.counter("pool.resync") == resyncs + 1
+            assert PERF.counter("snapshot.deltas") == deltas
+        finally:
+            parallel.close()
+
+
+class TestDispatch:
+    def test_small_batch_runs_in_process(self, linker):
+        parallel = ParallelBatchLinker(linker, workers=2)  # min batch = 8
+        serial = PERF.counter("dispatch.serial")
+        results = parallel.link_batch(_requests())  # 5 < 8
+        assert parallel._pool is None
+        assert PERF.counter("dispatch.serial") == serial + 1
+        expected = MicroBatchLinker(linker).link_batch(_requests())
+        _assert_same_results(results, expected)
+
+    def test_large_batch_uses_pool(self, linker):
+        parallel = ParallelBatchLinker(linker, workers=2, min_pool_batch=1)
+        try:
+            pooled = PERF.counter("dispatch.pool")
+            parallel.link_batch(_requests())
+            assert parallel._pool is not None
+            assert PERF.counter("dispatch.pool") == pooled + 1
+        finally:
+            parallel.close()
+
+    def test_config_batch_dispatch(self):
+        config = LinkerConfig()
+        assert config.batch_dispatch(batch_size=4, workers=2) == "serial"
+        assert config.batch_dispatch(batch_size=8, workers=2) == "pool"
+        assert config.batch_dispatch(batch_size=100, workers=1) == "serial"
+
+    def test_serial_dispatch_sees_live_state(self, linker):
+        """Sub-threshold batches score against the live linker, so parent
+        mutations are visible without any refresh."""
+        parallel = ParallelBatchLinker(linker, workers=2)
+        request = [LinkRequest("jordan", user=6, now=100 * DAY)]
+        assert parallel.link_batch(request)[0].best.entity_id == 0
+        for i in range(60):
+            linker.confirm_link(2, user=12, timestamp=float(i))
+        parallel.refresh()
+        assert parallel.link_batch(request)[0].best.entity_id == 2
+
+
+class TestSnapshotProtocol:
+    """Unit coverage of the journal / delta wire format."""
+
+    def _epochs(self, kb=0, links=0, graph=0):
+        return SnapshotEpochs(kb=kb, links=links, graph=graph)
+
+    def test_cut_requires_matching_op_counts(self):
+        journal = MutationJournal()
+        journal.on_graph_op(("edge+", 1, 2))
+        base = self._epochs()
+        assert journal.cut(base, self._epochs(graph=1)) is not None
+        # an unjournaled link-epoch bump cannot be reproduced by replay
+        assert journal.cut(base, self._epochs(links=1, graph=1)) is None
+
+    def test_cut_refuses_kb_schema_change(self):
+        journal = MutationJournal()
+        assert journal.cut(self._epochs(), self._epochs(kb=1)) is None
+
+    def test_cut_refuses_regression(self):
+        journal = MutationJournal()
+        assert journal.cut(self._epochs(links=5), self._epochs(links=3)) is None
+
+    def test_journal_pickles_inert(self, tiny_ckb):
+        graph = DiGraph(4)
+        journal = MutationJournal()
+        journal.attach(tiny_ckb, graph)
+        graph.add_edge(0, 1)
+        assert len(journal) == 1
+        clone = pickle.loads(pickle.dumps(journal))
+        assert clone.recording is False
+        assert len(clone) == 0
+        clone.on_graph_op(("edge+", 2, 3))  # inert: must not record
+        assert len(clone) == 0
+        journal.detach()
+
+    def test_duplicate_edge_not_journaled(self, tiny_ckb):
+        """add_edge of an existing edge bumps no epoch and must record no
+        op, or op counts and epoch arithmetic would disagree forever."""
+        graph = DiGraph(4)
+        graph.add_edge(0, 1)
+        journal = MutationJournal()
+        journal.attach(tiny_ckb, graph)
+        graph.add_edge(0, 1)
+        assert len(journal) == 0
+        journal.detach()
+
+    def test_apply_delta_rejects_base_mismatch(self, linker):
+        delta = SnapshotDelta(
+            base=self._epochs(links=999, graph=999),
+            target=self._epochs(links=1000, graph=999),
+            ops=(("prune", 0.0),),
+        )
+        with pytest.raises(SnapshotSyncError):
+            apply_delta(linker, delta)
+
+    def test_apply_delta_rejects_unknown_op(self, linker):
+        base = SnapshotEpochs.of(linker)
+        delta = SnapshotDelta(
+            base=base,
+            target=dataclasses.replace(base, links=base.links + 1),
+            ops=(("teleport", 1),),
+        )
+        with pytest.raises(SnapshotSyncError):
+            apply_delta(linker, delta)
+
+    def test_apply_delta_converges_on_target(self, linker):
+        spec_blob = pickle.dumps(linker)
+        worker_linker = pickle.loads(spec_blob)
+        journal = MutationJournal()
+        base = SnapshotEpochs.of(linker)
+        journal.attach(linker.ckb, linker.graph)
+        linker.confirm_link(2, user=12, timestamp=3.0)
+        linker.graph.add_edge(2, 3)
+        target = SnapshotEpochs.of(linker)
+        delta = journal.cut(base, target)
+        assert delta is not None
+        apply_delta(worker_linker, delta)
+        assert SnapshotEpochs.of(worker_linker) == target
+        journal.detach()
+
+    def test_regressed_from(self):
+        base = self._epochs(kb=1, links=5, graph=5)
+        assert self._epochs(kb=1, links=4, graph=5).regressed_from(base)
+        assert not self._epochs(kb=1, links=5, graph=6).regressed_from(base)
