@@ -4,9 +4,14 @@
 and parallel layers rely on but cannot assert at runtime: seeded
 randomness and argument-passed timestamps (**DET**), the typed error
 taxonomy (**ERR**), worker-snapshot discipline (**PAR**), tolerance-
-aware float comparisons in ranking code (**NUM**), and interface
-hygiene (**API**).  See DESIGN.md §8 for the rule table and
-``docs/static-analysis.md`` for the JSON report schema.
+aware float comparisons in ranking code (**NUM**), interface hygiene
+(**API**), and — via the whole-program layer
+(:mod:`repro.analysis.project`) — the *cross-module* generalizations of
+all of the above (**FLOW**): interprocedural determinism taint, the
+serve exception contract, mutator/listener parity, import hygiene and
+schema-export stability.  See DESIGN.md §8 for the rule table and
+``docs/static-analysis.md`` for the JSON report schema, the graph
+export, and the incremental-cache invalidation contract.
 
 Programmatic use::
 
@@ -17,17 +22,25 @@ Programmatic use::
 """
 
 from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.cache import AnalysisCache, DEFAULT_CACHE_PATH
 from repro.analysis.framework import (
     CheckReport,
     FileContext,
     Finding,
+    ProjectRule,
     Rule,
     Severity,
     all_rules,
     register,
     run_check,
 )
+from repro.analysis.graph_export import (
+    render_graph_document,
+    validate_graph_document,
+    write_graph_document,
+)
 from repro.analysis.pragmas import Pragma, parse_pragmas
+from repro.analysis.project import ProjectContext
 from repro.analysis.reporters import (
     render_json,
     render_text,
@@ -35,19 +48,26 @@ from repro.analysis.reporters import (
 )
 
 __all__ = [
+    "AnalysisCache",
     "Baseline",
     "BaselineEntry",
     "CheckReport",
+    "DEFAULT_CACHE_PATH",
     "FileContext",
     "Finding",
     "Pragma",
+    "ProjectContext",
+    "ProjectRule",
     "Rule",
     "Severity",
     "all_rules",
     "parse_pragmas",
     "register",
+    "render_graph_document",
     "render_json",
     "render_text",
     "run_check",
     "validate_check_document",
+    "validate_graph_document",
+    "write_graph_document",
 ]

@@ -66,6 +66,10 @@ class Baseline:
         self._entries: Dict[Tuple[str, str, str], BaselineEntry] = {
             entry.key(): entry for entry in entries
         }
+        #: Keys that suppressed at least one finding since reset_matches();
+        #: everything else is *stale* — the violation it grandfathers no
+        #: longer exists, so the entry is dead weight (--prune-baseline).
+        self._matched: set = set()
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -75,7 +79,32 @@ class Baseline:
         return [self._entries[key] for key in sorted(self._entries)]
 
     def covers(self, finding: "Finding", line_text: str) -> bool:
-        return (finding.path, finding.rule, line_text.strip()) in self._entries
+        key = (finding.path, finding.rule, line_text.strip())
+        if key in self._entries:
+            self._matched.add(key)
+            return True
+        return False
+
+    def reset_matches(self) -> None:
+        """Start a fresh match-tracking window (one per analyzer run)."""
+        self._matched = set()
+
+    def stale_entries(self, scanned_paths: "set[str]") -> List[BaselineEntry]:
+        """Entries whose file was scanned this run but whose content key
+        matched no finding — the grandfathered violation is gone (fixed,
+        or the line was edited, which revokes the exemption by design)."""
+        return [
+            self._entries[key]
+            for key in sorted(self._entries)
+            if key[0] in scanned_paths and key not in self._matched
+        ]
+
+    def pruned(self, scanned_paths: "set[str]") -> "Baseline":
+        """A copy without this run's stale entries (``--prune-baseline``)."""
+        stale = {entry.key() for entry in self.stale_entries(scanned_paths)}
+        return Baseline(
+            [entry for key, entry in self._entries.items() if key not in stale]
+        )
 
     def partition(
         self, findings: Sequence["Finding"], lines: Sequence[str]

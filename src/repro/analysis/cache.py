@@ -1,0 +1,220 @@
+"""Incremental analysis cache for ``repro check``.
+
+Whole-program analysis re-parses everything by construction; this cache
+makes the warm path cheap without ever trading away correctness:
+
+* the unit of caching is **one file**: its content hash (sha256 of the
+  source bytes) keys the per-file rule findings and the
+  :class:`~repro.analysis.project.ModuleSummary` the FLOW rules consume;
+* invalidation is **transitive over the import graph**: a file is stale
+  when its own hash changed, when it is new, when any file it imports
+  (directly or transitively) is stale, or when a module it imports
+  appeared/disappeared — the fixpoint below converges because staleness
+  only grows;
+* the **rule signature** (sorted rule ids + analyzer cache version) is
+  part of the key, so adding a rule or changing analyzer semantics
+  invalidates everything rather than silently replaying old verdicts;
+* a corrupt, missing, or schema-mismatched cache file degrades to a cold
+  run — the cache can never make ``repro check`` wrong, only slow.
+
+Suppression (pragmas, baseline) is deliberately **not** cached: both are
+re-applied from the freshly read source lines every run, so editing only
+a pragma or the baseline file changes the verdict without any
+re-analysis.  The FLOW phase itself always runs — it consumes summaries,
+which is cheap; "re-analyze" in the report counters means the expensive
+per-file work (parse + per-file rules + summarize).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.analysis.project import (
+    ModuleSummary,
+    summary_from_dict,
+    summary_to_dict,
+)
+
+__all__ = [
+    "AnalysisCache",
+    "CACHE_SCHEMA_VERSION",
+    "DEFAULT_CACHE_PATH",
+    "content_hash",
+    "rules_signature",
+]
+
+CACHE_SCHEMA_VERSION = 1
+
+#: Bump when analyzer semantics change in a way that keeps rule ids
+#: stable but alters findings or summaries (part of the rule signature).
+ANALYZER_CACHE_VERSION = 1
+
+DEFAULT_CACHE_PATH = ".repro-check-cache.json"
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+def rules_signature(rule_ids: Sequence[str]) -> str:
+    return f"v{ANALYZER_CACHE_VERSION}:" + ",".join(sorted(rule_ids))
+
+
+@dataclasses.dataclass
+class CacheEntry:
+    """Everything ``run_check`` needs to skip re-analyzing one file."""
+
+    path: str  # repo-relative posix path (the report key)
+    content_hash: str
+    module: str
+    #: Raw per-file rule findings (pre-pragma/baseline), as Finding dicts.
+    findings: List[Dict[str, object]]
+    #: ANA-002 parse-error findings, kept separate like the live run does.
+    parse_errors: List[Dict[str, object]]
+    #: Module summary for the FLOW phase; None when the file cannot parse.
+    summary: Optional[ModuleSummary]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "content_hash": self.content_hash,
+            "module": self.module,
+            "findings": self.findings,
+            "parse_errors": self.parse_errors,
+            "summary": None if self.summary is None else summary_to_dict(self.summary),
+        }
+
+    @classmethod
+    def from_dict(cls, raw: Dict[str, object]) -> "CacheEntry":
+        summary = raw.get("summary")
+        return cls(
+            path=str(raw["path"]),
+            content_hash=str(raw["content_hash"]),
+            module=str(raw["module"]),
+            findings=list(raw.get("findings", [])),
+            parse_errors=list(raw.get("parse_errors", [])),
+            summary=None if summary is None else summary_from_dict(summary),
+        )
+
+    def import_candidates(self) -> List[str]:
+        """Dotted names this file's imports may resolve to — matched
+        against the *current* module set at plan time, so a module that
+        appears or disappears after caching still invalidates correctly."""
+        if self.summary is None:
+            return []
+        candidates: List[str] = []
+        for binding in self.summary.bindings:
+            if binding.is_future:
+                continue
+            candidates.append(binding.module)
+            if binding.symbol:
+                candidates.append(f"{binding.module}.{binding.symbol}")
+        return candidates
+
+
+class AnalysisCache:
+    """Load/plan/store/save cycle around ``.repro-check-cache.json``."""
+
+    def __init__(self, path: str, signature: str, root: str = "") -> None:
+        self.path = path
+        self.signature = signature
+        #: Cached entry paths are root-relative; existence checks must
+        #: resolve them against this root, not the process CWD.
+        self.root = root or "."
+        self._entries: Dict[str, CacheEntry] = {}
+        self._load()
+
+    def _on_disk(self, relative_path: str) -> bool:
+        return os.path.exists(os.path.join(self.root, relative_path))
+
+    def _load(self) -> None:
+        if not os.path.exists(self.path):
+            return
+        try:
+            with open(self.path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+            if not isinstance(document, dict):
+                return
+            if document.get("schema_version") != CACHE_SCHEMA_VERSION:
+                return
+            if document.get("rules_signature") != self.signature:
+                return
+            for raw in document.get("entries", []):
+                entry = CacheEntry.from_dict(raw)
+                self._entries[entry.path] = entry
+        except (ValueError, KeyError, TypeError, OSError):
+            # any corruption degrades to a cold run, never a crash
+            self._entries = {}
+
+    def plan(self, current: Dict[str, Tuple[str, str]]) -> Dict[str, CacheEntry]:
+        """Reusable entries for ``current`` (path -> (hash, module)).
+
+        Everything not returned must be re-analyzed.  Staleness spreads
+        transitively over recorded imports: the fixpoint marks a module
+        stale when any module its file imports is stale, new, or removed.
+        """
+        current_modules = {module for _hash, module in current.values()}
+        stale_modules: Set[str] = set()
+        for path, (digest, module) in current.items():
+            entry = self._entries.get(path)
+            if entry is None or entry.content_hash != digest:
+                stale_modules.add(module)
+        for path, entry in self._entries.items():
+            # a path outside the current scan only invalidates importers
+            # when the file is truly gone (subset scans are legitimate)
+            if path not in current and not self._on_disk(path):
+                stale_modules.add(entry.module)
+        changed = True
+        while changed:
+            changed = False
+            for path, (digest, module) in current.items():
+                if module in stale_modules:
+                    continue
+                entry = self._entries[path]  # present: otherwise already stale
+                for candidate in entry.import_candidates():
+                    dependency = _longest_module_prefix(candidate, current_modules)
+                    if dependency is not None and dependency in stale_modules:
+                        stale_modules.add(module)
+                        changed = True
+                        break
+        return {
+            path: self._entries[path]
+            for path, (_digest, module) in current.items()
+            if module not in stale_modules
+        }
+
+    def store(self, entry: CacheEntry) -> None:
+        self._entries[entry.path] = entry
+
+    def drop_missing(self) -> None:
+        """Forget entries whose files no longer exist on disk."""
+        for path in list(self._entries):
+            if not self._on_disk(path):
+                del self._entries[path]
+
+    def save(self) -> None:
+        document = {
+            "schema_version": CACHE_SCHEMA_VERSION,
+            "rules_signature": self.signature,
+            "entries": [
+                self._entries[path].as_dict() for path in sorted(self._entries)
+            ],
+        }
+        tmp_path = self.path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(document, handle, sort_keys=True, separators=(",", ":"))
+            handle.write("\n")
+        os.replace(tmp_path, self.path)
+
+
+def _longest_module_prefix(candidate: str, modules: Set[str]) -> Optional[str]:
+    parts = candidate.split(".")
+    for cut in range(len(parts), 0, -1):
+        prefix = ".".join(parts[:cut])
+        if prefix in modules:
+            return prefix
+    return None

@@ -1,0 +1,340 @@
+"""The FLOW rule family: whole-program checks over a ProjectContext.
+
+Per-file rules (:mod:`repro.analysis.rules`) catch a wall-clock read *in*
+a scoring module; these rules catch the scoring function that reaches one
+*three calls away*, the serve handler that lets a ``ValueError`` cross
+the typed-error boundary, the mutator that bumps an epoch but skips the
+listener notify the snapshot journal depends on.  Each is the
+interprocedural generalization of an existing invariant:
+
+========  ====================================================  =========
+rule      invariant                                             per-file
+========  ====================================================  =========
+FLOW-001  scoring paths never transitively reach wall clock /   DET-00x
+          unseeded RNG through out-of-scope helpers
+FLOW-002  only ``ReproError`` subtypes escape the serve          ERR-00x
+          boundary (proven from may-raise summaries)
+FLOW-003  epoch-bumping mutators on listener-bearing classes     CACHE-001
+          notify their listeners (snapshot-delta parity)
+FLOW-004  no top-level import cycles; no dead module-level       —
+          imports
+FLOW-005  schema-versioned exporters never iterate raw sets      —
+          (key order must be deterministic run over run)
+========  ====================================================  =========
+
+All resolution is best-effort (see :mod:`repro.analysis.project`):
+unresolved calls contribute nothing, so a FLOW finding is always backed
+by an explicit chain the message spells out.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from repro.analysis.framework import Finding, ProjectRule, Severity, register
+from repro.analysis.project import ProjectContext
+from repro.analysis.rules import SCORING_MODULES
+
+__all__ = [
+    "SERVE_BOUNDARY_MODULE",
+    "SERVE_ROOT_EXCEPTION",
+]
+
+#: Module whose public functions form the serve boundary (FLOW-002).
+SERVE_BOUNDARY_MODULE = "repro.serve.handlers"
+
+#: Everything escaping the boundary must be a subtype of this class.
+SERVE_ROOT_EXCEPTION = "repro.errors.ReproError"
+
+
+def _in_scope(module: str, prefixes: Sequence[str]) -> bool:
+    return any(
+        module == prefix or module.startswith(prefix + ".") for prefix in prefixes
+    )
+
+
+def _qual_display(qualname: str) -> str:
+    """Drop the package prefix for readable chain messages."""
+    return qualname[len("repro."):] if qualname.startswith("repro.") else qualname
+
+
+@register
+class InterproceduralDeterminismRule(ProjectRule):
+    id = "FLOW-001"
+    severity = Severity.ERROR
+    summary = (
+        "scoring/linking/cache functions must not transitively reach "
+        "wall-clock or unseeded-RNG reads (interprocedural DET)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        tainted = project.wall_clock_taint()
+        for qualname in sorted(tainted):
+            function = project.functions[qualname]
+            module = project.summary_of(qualname)
+            if not _in_scope(module.module, SCORING_MODULES):
+                continue
+            witness, line, source = tainted[qualname]
+            if witness not in project.functions:
+                # direct read — the per-file DET rules own that report
+                continue
+            witness_module = project.summary_of(witness)
+            if _in_scope(witness_module.module, SCORING_MODULES):
+                # the callee is in scope itself: the report belongs on the
+                # deepest in-scope frame, where the taint enters the scope
+                continue
+            chain = " -> ".join(
+                _qual_display(frame) for frame in project.taint_chain(qualname, tainted)
+            )
+            yield Finding(
+                path=module.path,
+                line=line,
+                col=0,
+                rule=self.id,
+                message=(
+                    f"{_qual_display(qualname)}() reaches {source} through "
+                    f"out-of-scope helper {_qual_display(witness)}() "
+                    f"({chain}); thread the timestamp / a seeded RNG in as "
+                    "an argument instead"
+                ),
+                severity=self.severity,
+            )
+
+
+@register
+class ServeExceptionContractRule(ProjectRule):
+    id = "FLOW-002"
+    severity = Severity.ERROR
+    summary = (
+        "only ReproError subtypes may propagate past the repro.serve."
+        "handlers boundary (proven from may-raise summaries)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        boundary = project.modules.get(SERVE_BOUNDARY_MODULE)
+        if boundary is None:
+            return
+        may_raise = project.may_raise()
+        entries = sorted(
+            qual
+            for qual, function in boundary.functions.items()
+            if not function.name.startswith("_")
+        )
+        reported: Set[Tuple[str, int, str]] = set()
+        for entry in entries:
+            for raised in sorted(may_raise.get(entry, ())):
+                if project.exception_matches(raised, SERVE_ROOT_EXCEPTION):
+                    continue
+                for origin, line, chain in self._witnesses(project, entry, raised):
+                    key = (origin, line, raised)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    origin_module = project.summary_of(origin)
+                    display = raised.split(".")[-1]
+                    via = " -> ".join(_qual_display(frame) for frame in chain)
+                    yield Finding(
+                        path=origin_module.path,
+                        line=line,
+                        col=0,
+                        rule=self.id,
+                        message=(
+                            f"{display} raised here escapes the serve "
+                            f"boundary untyped (reached via {via}); clients "
+                            "get a 500 instead of a typed error body — "
+                            "raise a ReproError subtype or catch it at the "
+                            "boundary"
+                        ),
+                        severity=self.severity,
+                    )
+
+    @staticmethod
+    def _witnesses(
+        project: ProjectContext, entry: str, raised: str
+    ) -> List[Tuple[str, int, Tuple[str, ...]]]:
+        """(function, raise line, call chain) of every unguarded site
+        producing ``raised`` on some path from ``entry``."""
+        may_raise = project.may_raise()
+        results: List[Tuple[str, int, Tuple[str, ...]]] = []
+        stack: List[Tuple[str, Tuple[str, ...]]] = [(entry, (entry,))]
+        visited: Set[str] = set()
+        while stack:
+            qualname, chain = stack.pop()
+            if qualname in visited:
+                continue
+            visited.add(qualname)
+            summary = project.summary_of(qualname)
+            function = project.functions[qualname]
+            for site in function.raises:
+                canonical = project.canonical_exception(summary, site.name)
+                if canonical == raised and not project._guard_catches(
+                    summary, canonical, site.guards
+                ):
+                    results.append((qualname, site.line, chain))
+            for site, target in project.calls_of(qualname):
+                if (
+                    target is not None
+                    and target in may_raise
+                    and raised in may_raise[target]
+                    and not project._guard_catches(summary, raised, site.guards)
+                ):
+                    stack.append((target, chain + (target,)))
+        return sorted(results)
+
+
+@register
+class MutatorListenerParityRule(ProjectRule):
+    id = "FLOW-003"
+    severity = Severity.ERROR
+    summary = (
+        "epoch-bumping mutators on listener-bearing classes must notify "
+        "their listeners (snapshot deltas depend on the journal)"
+    )
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for summary in project.modules.values():
+            for cls in summary.classes.values():
+                if not cls.epoch_attrs or not cls.listener_attrs:
+                    continue
+                quals = {
+                    method: f"{summary.module}.{cls.name}.{method}"
+                    for method in cls.methods
+                }
+                notifying = {
+                    method
+                    for method, qual in quals.items()
+                    if project.functions[qual].notifies
+                }
+                # a mutator may delegate the notify to a sibling method
+                changed = True
+                while changed:
+                    changed = False
+                    for method, qual in quals.items():
+                        if method in notifying:
+                            continue
+                        for _site, target in project.calls_of(qual):
+                            if target in {quals[m] for m in notifying}:
+                                notifying.add(method)
+                                changed = True
+                                break
+                for method in cls.methods:
+                    function = project.functions[quals[method]]
+                    bumped = set(function.bumps) & set(cls.epoch_attrs)
+                    if bumped and method not in notifying:
+                        yield Finding(
+                            path=summary.path,
+                            line=function.line,
+                            col=0,
+                            rule=self.id,
+                            message=(
+                                f"{cls.name}.{method}() bumps epoch "
+                                f"{sorted(bumped)[0]!r} without notifying "
+                                f"{cls.listener_attrs[0]}; snapshot deltas "
+                                "built from the mutation journal silently "
+                                "miss this mutation — call the _notify* "
+                                "hook (or delegate to a mutator that does)"
+                            ),
+                            severity=self.severity,
+                        )
+
+
+@register
+class ImportHygieneRule(ProjectRule):
+    id = "FLOW-004"
+    severity = Severity.WARNING
+    summary = "no top-level import cycles; no unused module-level imports"
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        for cycle in project.import_cycles():
+            first = project.modules[cycle[0]]
+            loop = " -> ".join([*cycle, cycle[0]])
+            yield Finding(
+                path=first.path,
+                line=1,
+                col=0,
+                rule=self.id,
+                message=(
+                    f"import cycle {loop}; break it with a deferred import "
+                    "or by extracting the shared interface"
+                ),
+                severity=self.severity,
+            )
+        for summary in project.modules.values():
+            exported = set(summary.dunder_all or ())
+            for binding in summary.bindings:
+                if not binding.top_level or binding.is_future:
+                    continue
+                if binding.local.startswith("_"):
+                    continue
+                if binding.local in summary.used_names or binding.local in exported:
+                    continue
+                yield Finding(
+                    path=summary.path,
+                    line=binding.line,
+                    col=0,
+                    rule=self.id,
+                    message=(
+                        f"imported name {binding.local!r} is never used in "
+                        f"{summary.module} and is not re-exported via "
+                        "__all__; remove the dead import"
+                    ),
+                    severity=self.severity,
+                )
+
+
+@register
+class SchemaExportStabilityRule(ProjectRule):
+    id = "FLOW-005"
+    severity = Severity.ERROR
+    summary = (
+        "schema-versioned document exporters must not iterate raw sets "
+        "(key order must be deterministic run over run)"
+    )
+
+    #: How many call-graph hops below an exporter still count as "building
+    #: the document" — deep enough for render/collect helper splits, small
+    #: enough not to blanket the whole program.
+    _DEPTH = 2
+
+    def check_project(self, project: ProjectContext) -> Iterator[Finding]:
+        exporters = sorted(
+            qual
+            for qual, function in project.functions.items()
+            if function.writes_schema_doc
+        )
+        flagged: Set[Tuple[str, int]] = set()
+        for root in exporters:
+            frontier = {root}
+            closure = {root}
+            for _hop in range(self._DEPTH):
+                frontier = {
+                    target
+                    for qual in frontier
+                    for _site, target in project.calls_of(qual)
+                    if target is not None and target not in closure
+                }
+                closure |= frontier
+            for qualname in sorted(closure):
+                function = project.functions.get(qualname)
+                if function is None:
+                    continue
+                for line in function.unsorted_set_iter:
+                    key = (qualname, line)
+                    if key in flagged:
+                        continue
+                    flagged.add(key)
+                    summary = project.summary_of(qualname)
+                    yield Finding(
+                        path=summary.path,
+                        line=line,
+                        col=0,
+                        rule=self.id,
+                        message=(
+                            f"{_qual_display(qualname)}() iterates a set "
+                            "while feeding the schema-versioned document "
+                            f"exported by {_qual_display(root)}(); set order "
+                            "varies across runs/interpreters — wrap the "
+                            "iteration in sorted(...)"
+                        ),
+                        severity=self.severity,
+                    )

@@ -33,15 +33,29 @@ import ast
 import dataclasses
 import enum
 import os
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Type
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
 
-from repro.analysis.baseline import Baseline
+from repro.analysis.baseline import Baseline, BaselineEntry
 from repro.analysis.pragmas import Pragma, parse_pragmas
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids an import cycle
+    from repro.analysis.project import ProjectContext
 
 __all__ = [
     "CheckReport",
     "FileContext",
     "Finding",
+    "ProjectRule",
     "Rule",
     "Severity",
     "all_rules",
@@ -157,6 +171,23 @@ class Rule:
         )
 
 
+class ProjectRule(Rule):
+    """Base class of whole-program (FLOW) rules.
+
+    Project rules see the :class:`repro.analysis.project.ProjectContext`
+    built from every scanned file at once; their per-file :meth:`check`
+    is a no-op so the registry can hold both kinds uniformly.  Findings
+    they yield carry normal file/line anchors, so pragmas and the
+    baseline apply to them exactly like to per-file findings.
+    """
+
+    def check(self, ctx: FileContext) -> Iterator[Finding]:
+        return iter(())
+
+    def check_project(self, project: "ProjectContext") -> Iterator[Finding]:
+        raise NotImplementedError
+
+
 _REGISTRY: Dict[str, Rule] = {}
 
 
@@ -172,6 +203,7 @@ def register(rule_cls: Type[Rule]) -> Type[Rule]:
 
 def all_rules() -> List[Rule]:
     """Every registered rule, in stable id order."""
+    import repro.analysis.flow_rules  # noqa: F401 — registration side effect
     import repro.analysis.rules  # noqa: F401 — registration side effect
 
     return [_REGISTRY[rule_id] for rule_id in sorted(_REGISTRY)]
@@ -185,15 +217,26 @@ PRAGMA_JUSTIFICATION_RULE = "ANA-001"
 
 
 def _apply_pragmas(
-    findings: List[Finding], pragmas: Dict[int, Pragma], path: str
+    findings: List[Finding],
+    pragmas: Dict[int, Pragma],
+    path: str,
+    anchors: Optional[Dict[int, int]] = None,
 ) -> Tuple[List[Finding], List[Finding]]:
     """Split ``findings`` into (kept, suppressed) per the file's pragmas,
     and append an ``ANA-001`` finding for every pragma lacking a
-    justification."""
+    justification.
+
+    ``anchors`` maps continuation lines of multi-line statements to the
+    statement's first line, so a ``noqa`` on the opening line of a
+    wrapped call also covers findings reported on its continuation lines.
+    """
     kept: List[Finding] = []
     suppressed: List[Finding] = []
+    anchors = anchors or {}
     for finding in findings:
         pragma = pragmas.get(finding.line)
+        if pragma is None and finding.line in anchors:
+            pragma = pragmas.get(anchors[finding.line])
         if pragma is not None and pragma.covers(finding.rule):
             suppressed.append(finding)
         else:
@@ -229,6 +272,20 @@ class CheckReport:
     suppressed_baseline: List[Finding]
     files_scanned: int
     parse_errors: List[Finding] = dataclasses.field(default_factory=list)
+    #: Incremental-cache accounting: how many files went through the
+    #: expensive path (parse + per-file rules + summarize) vs. were served
+    #: from the content-hash cache.  Without a cache, reanalyzed equals
+    #: files_scanned.
+    cache_enabled: bool = False
+    files_reanalyzed: int = 0
+    files_cached: int = 0
+    #: Baseline entries that matched no current finding (stale).
+    stale_baseline: List[BaselineEntry] = dataclasses.field(default_factory=list)
+    #: The whole-program context of this run (``--graph`` export reuses it
+    #: instead of re-parsing); absent when no project rule was selected.
+    project: Optional["ProjectContext"] = dataclasses.field(
+        default=None, repr=False, compare=False
+    )
 
     @property
     def errors(self) -> List[Finding]:
@@ -249,7 +306,13 @@ class CheckReport:
 
 
 def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
-    """Expand files/directories into a sorted, deduplicated .py file list."""
+    """Expand files/directories into a sorted, deduplicated .py file list.
+
+    Deduplication is by normalized path, so overlapping arguments
+    (``repro check src src/repro``) and spelling variants (``./src`` vs
+    ``src``) never double-report the same file; the first spelling given
+    wins so report paths stay stable.
+    """
     seen = set()
     collected: List[str] = []
     for path in paths:
@@ -264,10 +327,23 @@ def iter_python_files(paths: Sequence[str]) -> Iterator[str]:
                 for name in names
             )
         for candidate in candidates:
-            if candidate.endswith(".py") and candidate not in seen:
-                seen.add(candidate)
+            normalized = os.path.normpath(candidate)
+            if candidate.endswith(".py") and normalized not in seen:
+                seen.add(normalized)
                 collected.append(candidate)
     return iter(sorted(collected))
+
+
+@dataclasses.dataclass
+class _FileRecord:
+    """One scanned file's per-run state (pre-suppression)."""
+
+    file_path: str  # as opened on disk
+    path: str  # repo-relative posix path (report key)
+    lines: Tuple[str, ...]
+    raw: List[Finding]
+    parse_errors: List[Finding]
+    anchors: Dict[int, int]
 
 
 def run_check(
@@ -275,6 +351,7 @@ def run_check(
     root: str = "",
     rules: Optional[Sequence[Rule]] = None,
     baseline: Optional[Baseline] = None,
+    cache_path: Optional[str] = None,
 ) -> CheckReport:
     """Run every rule over every python file under ``paths``.
 
@@ -283,46 +360,168 @@ def run_check(
     output.  Unparseable files produce an ``ANA-002`` error finding
     instead of crashing the gate (a syntax error must fail CI loudly, not
     with a traceback).
+
+    The run has two phases: per-file rules over each file's AST, then the
+    whole-program (FLOW) phase over the :class:`ProjectContext` built
+    from every file's module summary.  With ``cache_path`` set, per-file
+    work is skipped for files whose content hash and transitive imports
+    are unchanged (:mod:`repro.analysis.cache`); pragmas and the baseline
+    are re-applied from the freshly read lines either way, so suppression
+    edits never need a re-analysis.
     """
+    from repro.analysis.cache import (
+        AnalysisCache,
+        CacheEntry,
+        content_hash,
+        rules_signature,
+    )
+    from repro.analysis.project import ProjectContext, summarize
+
     selected = list(rules) if rules is not None else all_rules()
+    file_rules = [rule for rule in selected if not isinstance(rule, ProjectRule)]
+    project_rules = [rule for rule in selected if isinstance(rule, ProjectRule)]
     report = CheckReport(
         findings=[],
         suppressed_pragma=[],
         suppressed_baseline=[],
         files_scanned=0,
+        cache_enabled=cache_path is not None,
     )
+    cache = (
+        AnalysisCache(
+            cache_path,
+            rules_signature([rule.id for rule in selected]),
+            root=root,
+        )
+        if cache_path is not None
+        else None
+    )
+
+    # ---- phase 0: read and hash every file (always cheap) ------------- #
+    sources: Dict[str, Tuple[str, str, str]] = {}  # path -> (file_path, source, hash)
+    current: Dict[str, Tuple[str, str]] = {}  # path -> (hash, module)
     for file_path in iter_python_files(paths):
         with open(file_path, "r", encoding="utf-8") as handle:
             source = handle.read()
+        relative = (
+            os.path.relpath(file_path, root) if root else file_path
+        ).replace(os.sep, "/")
+        digest = content_hash(source)
+        sources[relative] = (file_path, source, digest)
+        current[relative] = (digest, _module_name(relative))
+    reusable = cache.plan(current) if cache is not None else {}
+
+    # ---- phase 1: per-file rules + summaries (cached or fresh) -------- #
+    records: List[_FileRecord] = []
+    summaries = []
+    for relative in sorted(sources):
+        file_path, source, digest = sources[relative]
+        lines = tuple(source.splitlines())
+        entry = reusable.get(relative)
+        if entry is not None:
+            report.files_cached += 1
+            raw = [_finding_from_dict(row) for row in entry.findings]
+            parse_errors = [_finding_from_dict(row) for row in entry.parse_errors]
+            anchors = dict(entry.summary.anchors) if entry.summary else {}
+            if entry.summary is not None:
+                summaries.append(entry.summary)
+                report.files_scanned += 1
+            records.append(
+                _FileRecord(file_path, relative, lines, raw, parse_errors, anchors)
+            )
+            continue
+        report.files_reanalyzed += 1
         try:
             ctx = FileContext.parse(file_path, source, root=root)
         except SyntaxError as exc:
-            relative = (
-                os.path.relpath(file_path, root) if root else file_path
-            ).replace(os.sep, "/")
-            report.parse_errors.append(
-                Finding(
-                    path=relative,
-                    line=exc.lineno or 1,
-                    col=exc.offset or 0,
-                    rule="ANA-002",
-                    message=f"file does not parse: {exc.msg}",
-                    severity=Severity.ERROR,
-                )
+            parse_error = Finding(
+                path=relative,
+                line=exc.lineno or 1,
+                col=exc.offset or 0,
+                rule="ANA-002",
+                message=f"file does not parse: {exc.msg}",
+                severity=Severity.ERROR,
             )
+            records.append(
+                _FileRecord(file_path, relative, lines, [], [parse_error], {})
+            )
+            if cache is not None:
+                cache.store(
+                    CacheEntry(
+                        path=relative,
+                        content_hash=digest,
+                        module=current[relative][1],
+                        findings=[],
+                        parse_errors=[parse_error.as_dict()],
+                        summary=None,
+                    )
+                )
             continue
         report.files_scanned += 1
-        raw: List[Finding] = []
-        for rule in selected:
+        raw = []
+        for rule in file_rules:
             raw.extend(rule.check(ctx))
-        kept, by_pragma = _apply_pragmas(raw, parse_pragmas(ctx.lines), ctx.path)
+        summary = summarize(ctx)
+        summaries.append(summary)
+        records.append(
+            _FileRecord(
+                file_path, relative, lines, raw, [], dict(summary.anchors)
+            )
+        )
+        if cache is not None:
+            cache.store(
+                CacheEntry(
+                    path=relative,
+                    content_hash=digest,
+                    module=current[relative][1],
+                    findings=[finding.as_dict() for finding in raw],
+                    parse_errors=[],
+                    summary=summary,
+                )
+            )
+
+    # ---- phase 2: whole-program (FLOW) rules over the summaries ------- #
+    if project_rules and summaries:
+        project = ProjectContext(summaries)
+        report.project = project
+        by_path: Dict[str, _FileRecord] = {record.path: record for record in records}
+        for rule in project_rules:
+            for finding in rule.check_project(project):
+                record = by_path.get(finding.path)
+                if record is not None:
+                    record.raw.append(finding)
+
+    # ---- phase 3: suppression from fresh lines (never cached) --------- #
+    if baseline is not None:
+        baseline.reset_matches()
+    for record in records:
+        report.parse_errors.extend(record.parse_errors)
+        kept, by_pragma = _apply_pragmas(
+            record.raw, parse_pragmas(record.lines), record.path, record.anchors
+        )
         if baseline is not None:
-            kept, by_baseline = baseline.partition(kept, ctx.lines)
+            kept, by_baseline = baseline.partition(kept, record.lines)
             report.suppressed_baseline.extend(by_baseline)
         report.suppressed_pragma.extend(by_pragma)
         report.findings.extend(kept)
+    if baseline is not None:
+        report.stale_baseline = baseline.stale_entries(set(sources))
     report.findings.extend(report.parse_errors)
     report.findings.sort()
     report.suppressed_pragma.sort()
     report.suppressed_baseline.sort()
+    if cache is not None:
+        cache.drop_missing()
+        cache.save()
     return report
+
+
+def _finding_from_dict(row: Dict[str, object]) -> Finding:
+    return Finding(
+        path=str(row["path"]),
+        line=int(row["line"]),
+        col=int(row["col"]),
+        rule=str(row["rule"]),
+        message=str(row["message"]),
+        severity=Severity(str(row["severity"])),
+    )

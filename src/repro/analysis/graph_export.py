@@ -1,0 +1,174 @@
+"""Schema-versioned export of the import/call graph (``repro check --graph``).
+
+The document follows the repo's standard discipline (BENCH/CHECK/LOAD):
+a ``meta.schema_version``, append-only keys within a version, and a
+validator CI runs against the emitted file.  Downstream tooling can diff
+dependency structure across PRs — new cycles, fan-in growth, resolution
+coverage — without re-running the analyzer.
+
+Layout::
+
+    {"meta": {"schema_version": 1, "tool": "repro check --graph",
+              "modules": N, "functions": M},
+     "import_graph": {"edges": [{"from", "to", "top_level"}...],
+                      "cycles": [["a", "b"]...]},
+     "call_graph": {"functions": [{"qualname", "module", "line",
+                                   "calls": [{"name", "line",
+                                              "target": str|null}...]}...],
+                    "unresolved_calls": <int>},
+     "effects": [{"qualname", "wall_clock", "unseeded_rng",
+                  "may_raise": [...], "bumps_epoch": [...],
+                  "notifies_listeners"}...]}
+
+Everything is emitted in sorted order, so the export is byte-identical
+run over run on an unchanged tree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.analysis.project import ProjectContext
+
+__all__ = [
+    "GRAPH_SCHEMA_VERSION",
+    "render_graph_document",
+    "validate_graph_document",
+    "write_graph_document",
+]
+
+GRAPH_SCHEMA_VERSION = 1
+
+
+def render_graph_document(project: ProjectContext) -> Dict[str, object]:
+    all_edges = project.import_edges()
+    top_level = project.import_edges(top_level_only=True)
+    edges = [
+        {
+            "from": source,
+            "to": target,
+            "top_level": target in top_level.get(source, ()),
+        }
+        for source in sorted(all_edges)
+        for target in all_edges[source]
+    ]
+    functions = []
+    unresolved = 0
+    for qualname in sorted(project.functions):
+        function = project.functions[qualname]
+        calls = []
+        for site, target in project.calls_of(qualname):
+            calls.append({"name": site.name, "line": site.line, "target": target})
+            if target is None:
+                unresolved += 1
+        functions.append(
+            {
+                "qualname": qualname,
+                "module": project.summary_of(qualname).module,
+                "line": function.line,
+                "calls": calls,
+            }
+        )
+    may_raise = project.may_raise()
+    effects = [
+        {
+            "qualname": qualname,
+            "wall_clock": bool(project.functions[qualname].wall_clock),
+            "unseeded_rng": bool(project.functions[qualname].unseeded_rng),
+            "may_raise": sorted(may_raise.get(qualname, ())),
+            "bumps_epoch": sorted(project.functions[qualname].bumps),
+            "notifies_listeners": project.functions[qualname].notifies,
+        }
+        for qualname in sorted(project.functions)
+    ]
+    return {
+        "meta": {
+            "schema_version": GRAPH_SCHEMA_VERSION,
+            "tool": "repro check --graph",
+            "modules": len(project.modules),
+            "functions": len(project.functions),
+        },
+        "import_graph": {"edges": edges, "cycles": project.import_cycles()},
+        "call_graph": {"functions": functions, "unresolved_calls": unresolved},
+        "effects": effects,
+    }
+
+
+def write_graph_document(project: ProjectContext, path: str) -> str:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(render_graph_document(project), handle, indent=2, sort_keys=False)
+        handle.write("\n")
+    return path
+
+
+def validate_graph_document(doc: object) -> List[str]:
+    """Schema check; returns a list of problems (empty when valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return ["document is not a JSON object"]
+    meta = doc.get("meta")
+    if not isinstance(meta, dict):
+        problems.append("missing or non-object section 'meta'")
+    else:
+        if meta.get("schema_version") != GRAPH_SCHEMA_VERSION:
+            problems.append(
+                f"meta.schema_version is {meta.get('schema_version')!r}, "
+                f"expected {GRAPH_SCHEMA_VERSION}"
+            )
+        for key in ("tool", "modules", "functions"):
+            if key not in meta:
+                problems.append(f"meta.{key} missing")
+    imports = doc.get("import_graph")
+    if not isinstance(imports, dict):
+        problems.append("missing or non-object section 'import_graph'")
+    else:
+        edges = imports.get("edges")
+        if not isinstance(edges, list):
+            problems.append("import_graph.edges must be a list")
+        else:
+            for index, edge in enumerate(edges):
+                if not isinstance(edge, dict) or not (
+                    {"from", "to", "top_level"} <= set(edge)
+                ):
+                    problems.append(
+                        f"import_graph.edges[{index}] missing from/to/top_level"
+                    )
+        if not isinstance(imports.get("cycles"), list):
+            problems.append("import_graph.cycles must be a list")
+    calls = doc.get("call_graph")
+    if not isinstance(calls, dict):
+        problems.append("missing or non-object section 'call_graph'")
+    else:
+        functions = calls.get("functions")
+        if not isinstance(functions, list):
+            problems.append("call_graph.functions must be a list")
+        else:
+            for index, row in enumerate(functions):
+                if not isinstance(row, dict) or not (
+                    {"qualname", "module", "line", "calls"} <= set(row)
+                ):
+                    problems.append(
+                        f"call_graph.functions[{index}] missing "
+                        "qualname/module/line/calls"
+                    )
+        if not isinstance(calls.get("unresolved_calls"), int):
+            problems.append("call_graph.unresolved_calls missing or not an integer")
+    effects = doc.get("effects")
+    if not isinstance(effects, list):
+        problems.append("'effects' must be a list")
+    else:
+        for index, row in enumerate(effects):
+            if not isinstance(row, dict) or not (
+                {
+                    "qualname",
+                    "wall_clock",
+                    "unseeded_rng",
+                    "may_raise",
+                    "bumps_epoch",
+                    "notifies_listeners",
+                }
+                <= set(row)
+            ):
+                problems.append(f"effects[{index}] missing required keys")
+    return problems

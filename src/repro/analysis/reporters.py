@@ -48,15 +48,27 @@ def render_text(report: CheckReport, strict: bool = False) -> str:
             f"{finding.path}:{finding.line}:{finding.col}: "
             f"{finding.rule} [{finding.severity.value}] {finding.message}"
         )
+    for entry in report.stale_baseline:
+        lines.append(
+            f"warning: stale baseline entry matches nothing: {entry.path} "
+            f"{entry.rule} {entry.line_text!r} — fixed or edited; remove it "
+            "with `repro check --prune-baseline`"
+        )
     suppressed = len(report.suppressed_pragma) + len(report.suppressed_baseline)
     verdict = "FAIL" if report.exit_code(strict=strict) else "OK"
-    lines.append(
+    summary = (
         f"{verdict}: {len(report.findings)} finding(s) "
         f"({len(report.errors)} error, {len(report.warnings)} warning) "
         f"across {report.files_scanned} file(s); {suppressed} suppressed "
         f"({len(report.suppressed_pragma)} pragma, "
         f"{len(report.suppressed_baseline)} baseline)"
     )
+    if report.cache_enabled:
+        summary += (
+            f"; cache: {report.files_reanalyzed} reanalyzed, "
+            f"{report.files_cached} reused"
+        )
+    lines.append(summary)
     return "\n".join(lines)
 
 
@@ -78,6 +90,12 @@ def render_json(
             "strict": strict,
             "paths": list(paths),
             "files_scanned": report.files_scanned,
+            # appended within schema_version 1 (append-only policy)
+            "cache": {
+                "enabled": report.cache_enabled,
+                "files_reanalyzed": report.files_reanalyzed,
+                "files_cached": report.files_cached,
+            },
         },
         "rules": [
             {
@@ -92,6 +110,8 @@ def render_json(
             "pragma": [f.as_dict() for f in report.suppressed_pragma],
             "baseline": [f.as_dict() for f in report.suppressed_baseline],
         },
+        # appended within schema_version 1 (append-only policy)
+        "stale_baseline": [entry.as_dict() for entry in report.stale_baseline],
         "summary": {
             "findings": len(report.findings),
             "errors": len(report.errors),
@@ -125,6 +145,14 @@ def validate_check_document(doc: object) -> List[str]:
         for key in ("tool", "strict", "paths", "files_scanned"):
             if key not in meta:
                 problems.append(f"meta.{key} missing")
+        cache = meta.get("cache")  # appended within v1; validated when present
+        if cache is not None:
+            if not isinstance(cache, dict):
+                problems.append("meta.cache must be an object")
+            else:
+                for key in ("enabled", "files_reanalyzed", "files_cached"):
+                    if key not in cache:
+                        problems.append(f"meta.cache.{key} missing")
     rules = doc.get("rules")
     if not isinstance(rules, list) or not rules:
         problems.append("'rules' must be a non-empty list")
@@ -134,6 +162,14 @@ def validate_check_document(doc: object) -> List[str]:
                 {"id", "severity", "summary"} <= set(rule)
             ):
                 problems.append(f"rules[{index}] missing id/severity/summary")
+            elif rule.get("severity") not in _VALID_SEVERITIES:
+                problems.append(
+                    f"rules[{index}].severity is {rule.get('severity')!r}, "
+                    f"expected one of {list(_VALID_SEVERITIES)}"
+                )
+    stale = doc.get("stale_baseline")  # appended within v1; validated when present
+    if stale is not None and not isinstance(stale, list):
+        problems.append("'stale_baseline' must be a list")
     for section in ("findings",):
         body = doc.get(section)
         if not isinstance(body, list):
@@ -160,6 +196,9 @@ def validate_check_document(doc: object) -> List[str]:
     return problems
 
 
+_VALID_SEVERITIES = ("error", "warning")
+
+
 def _check_findings(body: List[object], section: str) -> List[str]:
     problems: List[str] = []
     for index, finding in enumerate(body):
@@ -169,6 +208,12 @@ def _check_findings(body: List[object], section: str) -> List[str]:
         for key in _FINDING_KEYS:
             if key not in finding:
                 problems.append(f"{section}[{index}].{key} missing")
+        severity = finding.get("severity")
+        if severity is not None and severity not in _VALID_SEVERITIES:
+            problems.append(
+                f"{section}[{index}].severity is {severity!r}, "
+                f"expected one of {list(_VALID_SEVERITIES)}"
+            )
     return problems
 
 

@@ -265,6 +265,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default=None,
         help="also write the report document to this path",
     )
+    check.add_argument(
+        "--prune-baseline", action="store_true",
+        help="rewrite --baseline without entries whose content key no "
+        "longer matches any current finding (stale entries warn otherwise)",
+    )
+    check.add_argument(
+        "--graph", default=None, metavar="OUT",
+        help="export the import/call graph as a schema-versioned JSON "
+        "document to this path (docs/static-analysis.md)",
+    )
+    check.add_argument(
+        "--cache", default=None, metavar="PATH",
+        help="incremental-cache file (default: .repro-check-cache.json; "
+        "content-hash keyed, invalidated transitively via imports)",
+    )
+    check.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the incremental cache and re-analyze every file",
+    )
 
     serve = commands.add_parser(
         "serve",
@@ -848,13 +867,14 @@ def _cmd_check(args: argparse.Namespace) -> int:
     import json as _json
     import os as _os
 
-    from repro.analysis import Baseline, run_check
+    from repro.analysis import DEFAULT_CACHE_PATH, Baseline, run_check
     from repro.analysis.reporters import dump_json, render_json, render_text
 
     baseline = None
     if args.baseline and _os.path.exists(args.baseline) and not args.write_baseline:
         baseline = Baseline.load(args.baseline)
-    report = run_check(args.paths, baseline=baseline)
+    cache_path = None if args.no_cache else (args.cache or DEFAULT_CACHE_PATH)
+    report = run_check(args.paths, baseline=baseline, cache_path=cache_path)
 
     if args.write_baseline:
         if not args.baseline:
@@ -875,6 +895,27 @@ def _cmd_check(args: argparse.Namespace) -> int:
             "committing"
         )
         return 0
+
+    if args.prune_baseline:
+        if not args.baseline or baseline is None:
+            _log.error("--prune-baseline requires an existing --baseline PATH")
+            return 2
+        # run_check already computed exactly which entries matched nothing
+        # over the scanned set; drop those and keep the rest untouched
+        stale_keys = {entry.key() for entry in report.stale_baseline}
+        kept = [e for e in baseline.entries if e.key() not in stale_keys]
+        Baseline(kept).save(args.baseline)
+        print(
+            f"baseline pruned: {len(stale_keys)} stale of {len(baseline)} "
+            f"entr(ies) dropped from {args.baseline}"
+        )
+
+    if args.graph:
+        from repro.analysis import ProjectContext, write_graph_document
+
+        project = report.project or ProjectContext.build(args.paths)
+        write_graph_document(project, args.graph)
+        print(f"import/call graph written to {args.graph}")
 
     if args.format == "json":
         document = render_json(report, strict=args.strict, paths=args.paths)

@@ -97,7 +97,9 @@ def top_influential_users(
     try:
         influence = _METHODS[method]
     except KeyError:
-        raise ValueError(
+        # ``method`` is validated at config load (LinkerConfig.__post_init__),
+        # so reaching here from the serve path means a code bug, not bad input.
+        raise ValueError(  # repro: noqa[FLOW-002] -- validated at config load
             f"unknown influence method {method!r}; expected one of {sorted(_METHODS)}"
         ) from None
     scored: List[tuple] = []

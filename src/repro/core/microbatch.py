@@ -35,6 +35,7 @@ import threading
 from typing import List, Optional, Tuple
 
 from repro.core.batch import LinkRequest
+from repro.errors import IndexUnavailableError
 from repro.core.linker import LinkResult
 from repro.obs.metrics import METRICS
 
@@ -159,7 +160,13 @@ class MicroBatchFrontEnd:
     ) -> LinkResult:
         """Thread-safe blocking :meth:`link` against the private loop."""
         if self._loop is None:
-            raise ValueError("MicroBatchFrontEnd.start() has not been called")
+            # A stopped/never-started batcher is a dependency outage, not a
+            # caller bug: typed so the serve boundary renders a 503, and
+            # TransientError so ingest retry loops treat it as retryable.
+            raise IndexUnavailableError(
+                "micro-batch front end is not running "
+                "(MicroBatchFrontEnd.start() has not been called)"
+            )
         handle = asyncio.run_coroutine_threadsafe(self.link(request), self._loop)
         return handle.result(timeout)
 

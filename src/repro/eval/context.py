@@ -10,7 +10,7 @@ methods.
 from __future__ import annotations
 
 import dataclasses
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.baselines.collective import CollectiveLinker
 from repro.baselines.common import IntraTweetScorer

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import dataclasses
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
 from repro.eval.metrics import Predictions
 from repro.stream.tweet import Tweet

@@ -11,7 +11,7 @@ from __future__ import annotations
 import gzip
 import json
 import pathlib
-from typing import Any, Dict, IO, List, Union
+from typing import Any, Dict, IO, Union
 
 import numpy as np
 

@@ -76,9 +76,15 @@ class Histogram:
     def __init__(self, boundaries: Sequence[float]) -> None:
         bounds = tuple(float(b) for b in boundaries)
         if not bounds:
-            raise ValueError("histogram needs at least one bucket boundary")
+            # Boundaries are module constants; an empty tuple is a code
+            # bug worth failing fast on, not a typed degrade.
+            raise ValueError(  # repro: noqa[FLOW-002] -- code-bug invariant
+                "histogram needs at least one bucket boundary"
+            )
         if any(b >= a for b, a in zip(bounds, bounds[1:])):
-            raise ValueError(f"boundaries must be strictly increasing: {bounds}")
+            raise ValueError(  # repro: noqa[FLOW-002] -- code-bug invariant
+                f"boundaries must be strictly increasing: {bounds}"
+            )
         self.boundaries = bounds
         self.bucket_counts: List[int] = [0] * (len(bounds) + 1)
         self.count = 0
@@ -153,7 +159,9 @@ class MetricsRegistry:
             histogram = Histogram(boundaries)
             self._histograms[name] = histogram
         elif histogram.boundaries != tuple(float(b) for b in boundaries):
-            raise ValueError(
+            # Every observe() call site passes a module-constant boundary
+            # tuple; a rebind is a code bug, not a request failure.
+            raise ValueError(  # repro: noqa[FLOW-002] -- code-bug invariant
                 f"histogram {name!r} already bound to boundaries "
                 f"{histogram.boundaries}"
             )

@@ -42,7 +42,11 @@ def percentile(samples: Sequence[float], q: float) -> float:
     if not samples:
         return 0.0
     if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile must be in [0, 100], got {q}")
+        # q is always a literal (50/95/99) in timer_stats; an
+        # out-of-range q is a code bug, not a request error.
+        raise ValueError(  # repro: noqa[FLOW-002] -- code-bug invariant
+            f"percentile must be in [0, 100], got {q}"
+        )
     ordered = sorted(samples)
     rank = max(1, math.ceil(q / 100.0 * len(ordered)))
     return ordered[rank - 1]

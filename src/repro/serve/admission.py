@@ -71,7 +71,11 @@ class AdmissionController:
         """Return a position taken by a prior successful :meth:`admit`."""
         with self._lock:
             if self._pending <= 0:
-                raise ValueError("release() without a matching admit()")
+                # Admit/release pairing is enforced by the _link finally
+                # block; a miscount is a handler bug worth a loud 500.
+                raise ValueError(  # repro: noqa[FLOW-002] -- code-bug invariant
+                    "release() without a matching admit()"
+                )
             self._pending -= 1
             METRICS.gauge("serve.pending", float(self._pending))
 

@@ -17,12 +17,15 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
 
 from repro.config import LinkerConfig
 from repro.core.linker import SocialTemporalLinker
 from repro.errors import UnknownTenantError
 from repro.resilience.breaker import CircuitBreaker
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
+    from repro.core.microbatch import MicroBatchFrontEnd
 
 __all__ = [
     "ChaosConfig",
@@ -161,7 +164,7 @@ class Tenant:
         #: through it instead of hitting ``linker.link`` one by one.  The
         #: in-process load harness leaves it ``None`` so replays stay
         #: byte-identical and scheduling-free.
-        self.batcher: Optional[object] = None
+        self.batcher: Optional["MicroBatchFrontEnd"] = None
 
     @property
     def name(self) -> str:

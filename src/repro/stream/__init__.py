@@ -34,6 +34,7 @@ __all__ = [
     "TWITTER_PROFILE",
     "Tweet",
     "TweetDataset",
+    "TweetStreamGenerator",
     "WEIBO_PROFILE",
     "quick_profiles",
     "split_by_activity",

@@ -19,6 +19,7 @@ import pytest
 from repro.analysis import (
     Baseline,
     BaselineEntry,
+    CheckReport,
     FileContext,
     Severity,
     all_rules,
@@ -29,7 +30,7 @@ from repro.analysis import (
     validate_check_document,
 )
 from repro.analysis.framework import iter_python_files
-from repro.analysis.reporters import findings_from_document
+from repro.analysis.reporters import SCHEMA_VERSION, findings_from_document
 
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 
@@ -919,3 +920,225 @@ class TestRepoIsClean:
         assert code == 0, document["findings"]
         assert validate_check_document(document) == []
         assert document["summary"]["findings"] == 0
+
+
+# ---------------------------------------------------------------------- #
+# deterministic traversal (overlapping path specs)
+# ---------------------------------------------------------------------- #
+class TestTraversal:
+    def test_overlapping_path_spellings_dedupe(self, tmp_path, monkeypatch):
+        package = tmp_path / "src" / "pkg"
+        package.mkdir(parents=True)
+        (package / "b.py").write_text("x = 1\n")
+        (package / "a.py").write_text("y = 2\n")
+        monkeypatch.chdir(tmp_path)
+        # "src", "./src" and a direct file path all name the same files
+        files = list(iter_python_files(["src", "./src", "src/pkg/a.py"]))
+        assert files == ["src/pkg/a.py", "src/pkg/b.py"]
+
+    def test_order_is_sorted_and_stable(self, tmp_path):
+        for name in ("c.py", "a.py", "b.py"):
+            (tmp_path / name).write_text("x = 1\n")
+        first = list(iter_python_files([str(tmp_path)]))
+        assert [os.path.basename(p) for p in first] == ["a.py", "b.py", "c.py"]
+        assert first == list(iter_python_files([str(tmp_path)]))
+
+
+# ---------------------------------------------------------------------- #
+# pragma anchoring on multi-line statements
+# ---------------------------------------------------------------------- #
+class TestPragmaAnchoring:
+    def test_first_line_pragma_covers_continuation_finding(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "core" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import time\n"
+            "value = compute(  # repro: noqa[DET-003] -- boundary stamp\n"
+            "    time.time(),\n"
+            ")\n"
+        )
+        report = run_check([str(target)], root=str(tmp_path))
+        assert report.findings == []
+        assert [f.rule for f in report.suppressed_pragma] == ["DET-003"]
+
+    def test_pragma_does_not_leak_past_its_statement(self, tmp_path):
+        target = tmp_path / "src" / "repro" / "core" / "mod.py"
+        target.parent.mkdir(parents=True)
+        target.write_text(
+            "import time\n"
+            "value = compute(  # repro: noqa[DET-003] -- boundary stamp\n"
+            "    time.time(),\n"
+            ")\n"
+            "other = time.time()\n"
+        )
+        report = run_check([str(target)], root=str(tmp_path))
+        assert [f.rule for f in report.findings] == ["DET-003"]
+        assert report.findings[0].line == 5
+
+
+# ---------------------------------------------------------------------- #
+# reporter edge cases
+# ---------------------------------------------------------------------- #
+class TestReporterEdgeCases:
+    def test_empty_report_document_validates(self):
+        report = CheckReport(
+            findings=[],
+            suppressed_pragma=[],
+            suppressed_baseline=[],
+            files_scanned=0,
+        )
+        document = render_json(report)
+        assert validate_check_document(document) == []
+        assert document["summary"]["findings"] == 0
+
+    def test_identical_findings_sort_stably(self, tmp_path):
+        # two byte-identical violating lines produce same-rule findings
+        # whose relative order is fully determined by (path, line, col)
+        target = tmp_path / "mod.py"
+        target.write_text(
+            "import random\n"
+            "a = random.Random()\n"
+            "b = random.Random()\n"
+        )
+        first = run_check([str(target)], root=str(tmp_path))
+        second = run_check([str(target)], root=str(tmp_path))
+        assert first.findings == second.findings
+        assert [f.line for f in first.findings] == [2, 3]
+
+    def test_validator_rejects_unknown_finding_severity(self, report=None):
+        document = {
+            "meta": {
+                "schema_version": SCHEMA_VERSION,
+                "tool": "repro check",
+                "strict": False,
+                "paths": [],
+                "files_scanned": 1,
+            },
+            "rules": [{"id": "DET-001", "severity": "error", "summary": "s"}],
+            "findings": [
+                {
+                    "rule": "DET-001",
+                    "severity": "fatal",
+                    "path": "mod.py",
+                    "line": 1,
+                    "col": 0,
+                    "message": "m",
+                }
+            ],
+            "suppressed": {"pragma": [], "baseline": []},
+            "summary": {
+                "findings": 1,
+                "errors": 1,
+                "warnings": 0,
+                "suppressed_pragma": 0,
+                "suppressed_baseline": 0,
+                "files_scanned": 1,
+                "exit_code": 1,
+            },
+        }
+        problems = validate_check_document(document)
+        assert any("severity" in p and "'fatal'" in p for p in problems)
+
+    def test_validator_rejects_unknown_rule_severity(self):
+        document = {
+            "meta": {
+                "schema_version": SCHEMA_VERSION,
+                "tool": "repro check",
+                "strict": False,
+                "paths": [],
+                "files_scanned": 0,
+            },
+            "rules": [{"id": "X-001", "severity": "fatal", "summary": "s"}],
+            "findings": [],
+            "suppressed": {"pragma": [], "baseline": []},
+            "summary": {
+                "findings": 0,
+                "errors": 0,
+                "warnings": 0,
+                "suppressed_pragma": 0,
+                "suppressed_baseline": 0,
+                "files_scanned": 0,
+                "exit_code": 0,
+            },
+        }
+        problems = validate_check_document(document)
+        assert any("rules[0].severity" in p for p in problems)
+
+
+# ---------------------------------------------------------------------- #
+# stale baseline entries and --prune-baseline
+# ---------------------------------------------------------------------- #
+class TestStaleBaseline:
+    def _baseline(self, tmp_path, line_text="x = random.Random()"):
+        baseline = tmp_path / "baseline.json"
+        Baseline(
+            [
+                BaselineEntry(
+                    path="mod.py",
+                    rule="DET-001",
+                    line_text=line_text,
+                    justification="fixture",
+                )
+            ]
+        ).save(str(baseline))
+        return baseline
+
+    def test_stale_entry_is_reported(self, tmp_path, monkeypatch):
+        # the violating line was fixed; the exemption now matches nothing
+        (tmp_path / "mod.py").write_text("VALUE = 1\n")
+        baseline = self._baseline(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        report = run_check(["mod.py"], baseline=Baseline.load(str(baseline)))
+        assert [entry.rule for entry in report.stale_baseline] == ["DET-001"]
+        assert "stale baseline entry" in render_text(report)
+
+    def test_matching_entry_is_not_stale(self, tmp_path, monkeypatch):
+        (tmp_path / "mod.py").write_text(
+            "import random\nx = random.Random()\n"
+        )
+        baseline = self._baseline(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        report = run_check(["mod.py"], baseline=Baseline.load(str(baseline)))
+        assert report.stale_baseline == []
+        assert len(report.suppressed_baseline) == 1
+
+    def test_prune_flag_rewrites_the_baseline_file(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        from repro.cli import main
+
+        (tmp_path / "mod.py").write_text("VALUE = 1\n")
+        baseline = self._baseline(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "check",
+                "mod.py",
+                "--baseline",
+                str(baseline),
+                "--prune-baseline",
+            ]
+        )
+        assert code == 0
+        assert "pruned" in capsys.readouterr().out
+        assert len(Baseline.load(str(baseline))) == 0
+
+    def test_prune_keeps_live_entries(self, tmp_path, capsys, monkeypatch):
+        from repro.cli import main
+
+        (tmp_path / "mod.py").write_text(
+            "import random\nx = random.Random()\n"
+        )
+        baseline = self._baseline(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        code = main(
+            [
+                "check",
+                "mod.py",
+                "--baseline",
+                str(baseline),
+                "--prune-baseline",
+            ]
+        )
+        assert code == 0
+        assert len(Baseline.load(str(baseline))) == 1

@@ -1,0 +1,158 @@
+"""Incremental analysis cache: reuse, invalidation, degradation."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis import Baseline, BaselineEntry, run_check
+from repro.analysis.cache import (
+    ANALYZER_CACHE_VERSION,
+    AnalysisCache,
+    content_hash,
+    rules_signature,
+)
+
+_TREE = {
+    "pkg/__init__.py": "",
+    # leaf: imported by mid, which is imported by top
+    "pkg/leaf.py": "def leaf():\n    return 1\n",
+    "pkg/mid.py": "from pkg.leaf import leaf\ndef mid():\n    return leaf()\n",
+    "pkg/top.py": "from pkg.mid import mid\ndef top():\n    return mid()\n",
+    "pkg/island.py": "def island():\n    return 42\n",
+}
+
+
+@pytest.fixture
+def tree(tmp_path):
+    for relative, source in _TREE.items():
+        target = tmp_path / "src" / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    return tmp_path
+
+
+def check(tree, **kwargs):
+    cache = str(tree / "cache.json")
+    return run_check([str(tree / "src")], root=str(tree), cache_path=cache, **kwargs)
+
+
+class TestReuse:
+    def test_cold_then_warm(self, tree):
+        cold = check(tree)
+        assert cold.cache_enabled
+        assert cold.files_reanalyzed == len(_TREE)
+        assert cold.files_cached == 0
+        warm = check(tree)
+        assert warm.files_reanalyzed == 0
+        assert warm.files_cached == len(_TREE)
+
+    def test_findings_survive_cache_reuse(self, tree):
+        violating = tree / "src" / "pkg" / "bad.py"
+        violating.write_text("import random\nrng = random.Random()\n")
+        cold = check(tree)
+        warm = check(tree)
+        assert warm.files_reanalyzed == 0
+        assert [f.rule for f in cold.findings] == ["DET-001"]
+        assert [f.as_dict() for f in warm.findings] == [
+            f.as_dict() for f in cold.findings
+        ]
+
+    def test_disabled_without_cache_path(self, tree):
+        report = run_check([str(tree / "src")], root=str(tree))
+        assert not report.cache_enabled
+
+
+class TestInvalidation:
+    def test_editing_leaf_reanalyzes_transitive_importers(self, tree):
+        check(tree)
+        leaf = tree / "src" / "pkg" / "leaf.py"
+        leaf.write_text("def leaf():\n    return 2\n")
+        report = check(tree)
+        # leaf itself + mid + top; island and __init__ stay cached
+        assert report.files_reanalyzed == 3
+        assert report.files_cached == 2
+
+    def test_editing_island_reanalyzes_only_itself(self, tree):
+        check(tree)
+        island = tree / "src" / "pkg" / "island.py"
+        island.write_text("def island():\n    return 43\n")
+        report = check(tree)
+        assert report.files_reanalyzed == 1
+        assert report.files_cached == len(_TREE) - 1
+
+    def test_new_file_is_analyzed_without_invalidating_others(self, tree):
+        check(tree)
+        extra = tree / "src" / "pkg" / "extra.py"
+        extra.write_text("def extra():\n    return 3\n")
+        report = check(tree)
+        assert report.files_reanalyzed == 1
+        assert report.files_cached == len(_TREE)
+
+    def test_deleted_file_is_dropped_from_cache(self, tree):
+        check(tree)
+        (tree / "src" / "pkg" / "island.py").unlink()
+        report = check(tree)
+        assert report.files_scanned == len(_TREE) - 1
+        document = json.loads((tree / "cache.json").read_text())
+        cached_paths = {entry["path"] for entry in document["entries"]}
+        assert not any("island" in path for path in cached_paths)
+
+    def test_rules_signature_change_invalidates_everything(self, tree):
+        check(tree)
+        document = json.loads((tree / "cache.json").read_text())
+        document["rules_signature"] = "v0:stale"
+        (tree / "cache.json").write_text(json.dumps(document))
+        report = check(tree)
+        assert report.files_reanalyzed == len(_TREE)
+
+    def test_corrupt_cache_degrades_to_cold_run(self, tree):
+        check(tree)
+        (tree / "cache.json").write_text("{not json")
+        report = check(tree)
+        assert report.files_reanalyzed == len(_TREE)
+        # and the run repaired the file
+        warm = check(tree)
+        assert warm.files_reanalyzed == 0
+
+
+class TestSuppressionNotCached:
+    def test_baseline_applies_on_warm_runs(self, tree):
+        violating = tree / "src" / "pkg" / "bad.py"
+        violating.write_text("import random\nrng = random.Random()\n")
+        cold = check(tree)
+        assert [f.rule for f in cold.findings] == ["DET-001"]
+        baseline = Baseline(
+            [
+                BaselineEntry(
+                    path=cold.findings[0].path,
+                    rule="DET-001",
+                    line_text="rng = random.Random()",
+                    justification="test fixture",
+                )
+            ]
+        )
+        warm = check(tree, baseline=baseline)
+        assert warm.files_reanalyzed == 0
+        assert warm.findings == []
+        assert [f.rule for f in warm.suppressed_baseline] == ["DET-001"]
+
+
+class TestCachePrimitives:
+    def test_content_hash_is_content_keyed(self):
+        assert content_hash("x = 1\n") == content_hash("x = 1\n")
+        assert content_hash("x = 1\n") != content_hash("x = 2\n")
+
+    def test_rules_signature_is_order_insensitive(self):
+        assert rules_signature(["B", "A"]) == rules_signature(["A", "B"])
+        assert str(ANALYZER_CACHE_VERSION) in rules_signature(["A"])
+
+    def test_save_and_reload_round_trip(self, tmp_path):
+        path = str(tmp_path / "cache.json")
+        cache = AnalysisCache(path, rules_signature(["DET-001"]))
+        current = {"src/pkg/a.py": (content_hash("x = 1\n"), "pkg.a")}
+        assert cache.plan(current) == {}
+        cache.save()
+        reloaded = AnalysisCache(path, rules_signature(["DET-001"]))
+        assert reloaded.plan(current) == {}

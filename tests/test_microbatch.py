@@ -8,6 +8,7 @@ from repro.config import DAY, LinkerConfig
 from repro.core.batch import LinkRequest, MicroBatchLinker
 from repro.core.linker import SocialTemporalLinker
 from repro.core.microbatch import MicroBatchFrontEnd
+from repro.errors import IndexUnavailableError
 from repro.graph.digraph import DiGraph
 from repro.obs.metrics import METRICS
 
@@ -62,7 +63,7 @@ class TestValidation:
 
     def test_link_sync_requires_start(self, backend):
         front_end = MicroBatchFrontEnd(backend)
-        with pytest.raises(ValueError):
+        with pytest.raises(IndexUnavailableError):
             front_end.link_sync(_requests(1)[0])
 
 
@@ -170,7 +171,7 @@ class TestSyncBridge:
         front_end = MicroBatchFrontEnd(backend, max_delay_s=0.001)
         front_end.start()
         front_end.stop()
-        with pytest.raises(ValueError):
+        with pytest.raises(IndexUnavailableError):
             front_end.link_sync(_requests(1)[0])
 
 

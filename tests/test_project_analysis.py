@@ -1,0 +1,640 @@
+"""Whole-program layer: ProjectContext graphs, effects, FLOW rules, export."""
+
+from __future__ import annotations
+
+import json
+import textwrap
+
+import pytest
+
+from repro.analysis import run_check
+from repro.analysis.graph_export import (
+    GRAPH_SCHEMA_VERSION,
+    render_graph_document,
+    validate_graph_document,
+    write_graph_document,
+)
+from repro.analysis.project import ProjectContext
+
+
+def build_project(tmp_path, modules):
+    """Write ``{"pkg/mod.py": source}`` under tmp/src and build a context."""
+    for relative, source in modules.items():
+        target = tmp_path / "src" / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return ProjectContext.build([str(tmp_path / "src")], root=str(tmp_path))
+
+
+def check_tree(tmp_path, modules):
+    for relative, source in modules.items():
+        target = tmp_path / "src" / relative
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(source))
+    return run_check([str(tmp_path / "src")], root=str(tmp_path))
+
+
+def flow_findings(report, rule_id):
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+# ---------------------------------------------------------------------- #
+# import graph
+# ---------------------------------------------------------------------- #
+class TestImportGraph:
+    def test_edges_and_importers(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "from pkg.b import helper\n",
+                "pkg/b.py": "def helper():\n    return 1\n",
+            },
+        )
+        assert "pkg.b" in project.import_edges()["pkg.a"]
+        assert "pkg.a" in project.importers_of("pkg.b")
+
+    def test_cycle_detection(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "import pkg.b\n",
+                "pkg/b.py": "import pkg.a\n",
+            },
+        )
+        cycles = project.import_cycles()
+        assert ["pkg.a", "pkg.b"] in cycles
+
+    def test_acyclic_tree_has_no_cycles(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "import pkg.b\n",
+                "pkg/b.py": "x = 1\n",
+            },
+        )
+        assert project.import_cycles() == []
+
+
+# ---------------------------------------------------------------------- #
+# call resolution
+# ---------------------------------------------------------------------- #
+class TestCallResolution:
+    def test_imported_function_resolves(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": (
+                    "from pkg.b import helper\n"
+                    "def caller():\n"
+                    "    return helper()\n"
+                ),
+                "pkg/b.py": "def helper():\n    return 1\n",
+            },
+        )
+        targets = [t for _, t in project.calls_of("pkg.a.caller")]
+        assert "pkg.b.helper" in targets
+
+    def test_self_method_resolves(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/a.py": (
+                    "class Thing:\n"
+                    "    def outer(self):\n"
+                    "        return self.inner()\n"
+                    "    def inner(self):\n"
+                    "        return 1\n"
+                ),
+            },
+        )
+        targets = [t for _, t in project.calls_of("pkg.a.Thing.outer")]
+        assert "pkg.a.Thing.inner" in targets
+
+    def test_attribute_typed_in_init_resolves(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/a.py": (
+                    "from pkg.b import Engine\n"
+                    "class App:\n"
+                    "    def __init__(self):\n"
+                    "        self.engine = Engine()\n"
+                    "    def run(self):\n"
+                    "        return self.engine.spin()\n"
+                ),
+                "pkg/b.py": (
+                    "class Engine:\n"
+                    "    def spin(self):\n"
+                    "        return 1\n"
+                ),
+            },
+        )
+        targets = [t for _, t in project.calls_of("pkg.a.App.run")]
+        assert "pkg.b.Engine.spin" in targets
+
+    def test_return_annotation_types_local(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/a.py": (
+                    "from pkg.b import Engine, get_engine\n"
+                    "def run():\n"
+                    "    engine = get_engine()\n"
+                    "    return engine.spin()\n"
+                ),
+                "pkg/b.py": (
+                    "class Engine:\n"
+                    "    def spin(self):\n"
+                    "        return 1\n"
+                    "def get_engine() -> Engine:\n"
+                    "    return Engine()\n"
+                ),
+            },
+        )
+        targets = [t for _, t in project.calls_of("pkg.a.run")]
+        assert "pkg.b.Engine.spin" in targets
+
+    def test_self_referential_local_does_not_recurse(self, tmp_path):
+        # `x = x.narrow()` must not send the resolver into a loop
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/a.py": (
+                    "def run(x):\n"
+                    "    x = x.narrow()\n"
+                    "    y = z.f()\n"
+                    "    z = y.g()\n"
+                    "    return x\n"
+                ),
+            },
+        )
+        assert "pkg.a.run" in project.functions
+
+    def test_unresolved_calls_are_recorded(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {"pkg/a.py": "def f(x):\n    return x.mystery_method()\n"},
+        )
+        sites = project.unresolved_calls.get("pkg.a.f", [])
+        assert any("mystery_method" in site.name for site in sites)
+
+
+# ---------------------------------------------------------------------- #
+# effect summaries
+# ---------------------------------------------------------------------- #
+class TestMayRaise:
+    def test_propagates_through_calls(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/a.py": (
+                    "from pkg.b import helper\n"
+                    "def caller():\n"
+                    "    return helper()\n"
+                ),
+                "pkg/b.py": (
+                    "def helper():\n"
+                    "    raise ValueError('boom')\n"
+                ),
+            },
+        )
+        raised = project.may_raise()
+        assert any("ValueError" in r for r in raised["pkg.a.caller"])
+
+    def test_guard_subtracts_caught_types(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/a.py": (
+                    "from pkg.b import helper\n"
+                    "def caller():\n"
+                    "    try:\n"
+                    "        return helper()\n"
+                    "    except ValueError:\n"
+                    "        return None\n"
+                ),
+                "pkg/b.py": (
+                    "def helper():\n"
+                    "    raise ValueError('boom')\n"
+                ),
+            },
+        )
+        raised = project.may_raise()
+        assert not any("ValueError" in r for r in raised.get("pkg.a.caller", ()))
+
+    def test_bare_reraise_handler_is_transparent(self, tmp_path):
+        # `except ValueError: cleanup(); raise` does NOT swallow the error
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/a.py": (
+                    "from pkg.b import helper\n"
+                    "def caller():\n"
+                    "    try:\n"
+                    "        return helper()\n"
+                    "    except ValueError:\n"
+                    "        cleanup()\n"
+                    "        raise\n"
+                    "def cleanup():\n"
+                    "    pass\n"
+                ),
+                "pkg/b.py": (
+                    "def helper():\n"
+                    "    raise ValueError('boom')\n"
+                ),
+            },
+        )
+        raised = project.may_raise()
+        assert any("ValueError" in r for r in raised["pkg.a.caller"])
+
+    def test_subclass_matches_parent_guard(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/a.py": (
+                    "from pkg.b import helper\n"
+                    "def caller():\n"
+                    "    try:\n"
+                    "        return helper()\n"
+                    "    except LookupError:\n"
+                    "        return None\n"
+                ),
+                "pkg/b.py": (
+                    "def helper():\n"
+                    "    raise KeyError('boom')\n"
+                ),
+            },
+        )
+        raised = project.may_raise()
+        assert not any("KeyError" in r for r in raised.get("pkg.a.caller", ()))
+
+
+class TestWallClockTaint:
+    def test_taint_flows_through_helpers(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/a.py": (
+                    "from pkg.b import stamp\n"
+                    "def score():\n"
+                    "    return stamp()\n"
+                ),
+                "pkg/b.py": (
+                    "import time\n"
+                    "def stamp():\n"
+                    "    return time.time()\n"
+                ),
+            },
+        )
+        tainted = project.wall_clock_taint()
+        assert "pkg.a.score" in tainted
+        chain = project.taint_chain("pkg.a.score", tainted)
+        assert chain[0] == "pkg.a.score"
+        assert "pkg.b.stamp" in chain
+        assert chain[-1] == "time.time"  # the raw wall-clock source
+
+    def test_pragma_on_source_line_seals_taint(self, tmp_path):
+        project = build_project(
+            tmp_path,
+            {
+                "pkg/b.py": (
+                    "import time\n"
+                    "def stamp():\n"
+                    "    return time.time()  # repro: noqa[DET-003] -- boundary\n"
+                ),
+                "pkg/a.py": (
+                    "from pkg.b import stamp\n"
+                    "def score():\n"
+                    "    return stamp()\n"
+                ),
+            },
+        )
+        assert "pkg.a.score" not in project.wall_clock_taint()
+
+
+# ---------------------------------------------------------------------- #
+# FLOW rules end-to-end (run_check over synthetic trees)
+# ---------------------------------------------------------------------- #
+class TestFlow001:
+    def test_flags_taint_entering_scoring_scope(self, tmp_path):
+        report = check_tree(
+            tmp_path,
+            {
+                "repro/util/clockish.py": (
+                    "import time\n"
+                    "def now_stamp():\n"
+                    "    return time.time()\n"
+                ),
+                "repro/core/scorer.py": (
+                    "from repro.util.clockish import now_stamp\n"
+                    "def score():\n"
+                    "    return now_stamp()\n"
+                ),
+            },
+        )
+        findings = flow_findings(report, "FLOW-001")
+        assert len(findings) == 1
+        assert findings[0].path.endswith("repro/core/scorer.py")
+
+    def test_direct_read_in_scope_is_det_not_flow(self, tmp_path):
+        # a wall-clock read *inside* scoring scope is DET-003's finding;
+        # FLOW-001 only reports taint imported from helpers outside scope
+        report = check_tree(
+            tmp_path,
+            {
+                "repro/core/scorer.py": (
+                    "import time\n"
+                    "def score():\n"
+                    "    return time.time()\n"
+                ),
+            },
+        )
+        assert flow_findings(report, "FLOW-001") == []
+        assert [f.rule for f in report.findings] == ["DET-003"]
+
+
+class TestFlow002:
+    def test_untyped_raise_escaping_boundary_is_flagged(self, tmp_path):
+        report = check_tree(
+            tmp_path,
+            {
+                "repro/errors.py": (
+                    "class ReproError(Exception):\n"
+                    "    pass\n"
+                ),
+                "repro/core/engine.py": (
+                    "def run():\n"
+                    "    raise ValueError('bad')\n"
+                ),
+                "repro/serve/__init__.py": "",
+                "repro/serve/handlers.py": (
+                    "from repro.core.engine import run\n"
+                    "from repro.errors import ReproError\n"
+                    "def handle(request):\n"
+                    "    try:\n"
+                    "        return run()\n"
+                    "    except ReproError:\n"
+                    "        return None\n"
+                ),
+            },
+        )
+        findings = flow_findings(report, "FLOW-002")
+        assert len(findings) == 1
+        assert findings[0].path.endswith("repro/core/engine.py")
+        assert "handle" in findings[0].message
+
+    def test_typed_raise_is_clean(self, tmp_path):
+        report = check_tree(
+            tmp_path,
+            {
+                "repro/errors.py": (
+                    "class ReproError(Exception):\n"
+                    "    pass\n"
+                    "class DegradedError(ReproError):\n"
+                    "    pass\n"
+                ),
+                "repro/core/engine.py": (
+                    "from repro.errors import DegradedError\n"
+                    "def run():\n"
+                    "    raise DegradedError('degraded')\n"
+                ),
+                "repro/serve/__init__.py": "",
+                "repro/serve/handlers.py": (
+                    "from repro.core.engine import run\n"
+                    "from repro.errors import ReproError\n"
+                    "def handle(request):\n"
+                    "    try:\n"
+                    "        return run()\n"
+                    "    except ReproError:\n"
+                    "        return None\n"
+                ),
+            },
+        )
+        assert flow_findings(report, "FLOW-002") == []
+
+    def test_guard_at_boundary_clears_finding(self, tmp_path):
+        report = check_tree(
+            tmp_path,
+            {
+                "repro/core/engine.py": (
+                    "def run():\n"
+                    "    raise ValueError('bad')\n"
+                ),
+                "repro/serve/__init__.py": "",
+                "repro/serve/handlers.py": (
+                    "from repro.core.engine import run\n"
+                    "def handle(request):\n"
+                    "    try:\n"
+                    "        return run()\n"
+                    "    except ValueError:\n"
+                    "        return None\n"
+                ),
+            },
+        )
+        assert flow_findings(report, "FLOW-002") == []
+
+
+class TestFlow003:
+    _EPOCH_PRELUDE = (
+        "from repro.cache.epochs import Epoch\n"
+        "class Store:\n"
+        "    def __init__(self):\n"
+        "        self.epoch = Epoch()\n"
+        "        self._listeners = []\n"
+    )
+
+    def test_mutator_without_notify_is_flagged(self, tmp_path):
+        report = check_tree(
+            tmp_path,
+            {
+                "repro/cache/__init__.py": "",
+                "repro/cache/epochs.py": "class Epoch:\n    def bump(self):\n        pass\n",
+                "repro/core/store.py": self._EPOCH_PRELUDE + (
+                    "    def add(self, item):\n"
+                    "        self.epoch.bump()\n"
+                ),
+            },
+        )
+        findings = flow_findings(report, "FLOW-003")
+        assert len(findings) == 1
+        assert "add" in findings[0].message
+
+    def test_mutator_with_notify_is_clean(self, tmp_path):
+        report = check_tree(
+            tmp_path,
+            {
+                "repro/cache/__init__.py": "",
+                "repro/cache/epochs.py": "class Epoch:\n    def bump(self):\n        pass\n",
+                "repro/core/store.py": self._EPOCH_PRELUDE + (
+                    "    def add(self, item):\n"
+                    "        self.epoch.bump()\n"
+                    "        self._notify()\n"
+                    "    def _notify(self):\n"
+                    "        for listener in self._listeners:\n"
+                    "            listener()\n"
+                ),
+            },
+        )
+        assert flow_findings(report, "FLOW-003") == []
+
+    def test_notify_via_delegation_is_clean(self, tmp_path):
+        report = check_tree(
+            tmp_path,
+            {
+                "repro/cache/__init__.py": "",
+                "repro/cache/epochs.py": "class Epoch:\n    def bump(self):\n        pass\n",
+                "repro/core/store.py": self._EPOCH_PRELUDE + (
+                    "    def add(self, item):\n"
+                    "        self._bump_and_tell()\n"
+                    "    def _bump_and_tell(self):\n"
+                    "        self.epoch.bump()\n"
+                    "        self._notify()\n"
+                    "    def _notify(self):\n"
+                    "        for listener in self._listeners:\n"
+                    "            listener()\n"
+                ),
+            },
+        )
+        assert flow_findings(report, "FLOW-003") == []
+
+
+class TestFlow004:
+    def test_dead_import_is_flagged(self, tmp_path):
+        report = check_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "from pkg.b import helper\nx = 1\n",
+                "pkg/b.py": "def helper():\n    return 1\n",
+            },
+        )
+        findings = flow_findings(report, "FLOW-004")
+        assert any("helper" in f.message for f in findings)
+
+    def test_dunder_all_reexport_is_not_dead(self, tmp_path):
+        report = check_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": (
+                    "from pkg.b import helper\n"
+                    "__all__ = ['helper']\n"
+                ),
+                "pkg/b.py": "def helper():\n    return 1\n",
+            },
+        )
+        assert flow_findings(report, "FLOW-004") == []
+
+    def test_string_annotation_counts_as_use(self, tmp_path):
+        # regression: `"OrderedDict[int, Dict[int, float]]"` uses Dict
+        report = check_tree(
+            tmp_path,
+            {
+                "pkg/a.py": (
+                    "from typing import Dict\n"
+                    "class C:\n"
+                    "    def __init__(self):\n"
+                    '        self.cache: "Dict[int, float]" = {}\n'
+                ),
+            },
+        )
+        assert flow_findings(report, "FLOW-004") == []
+
+    def test_import_cycle_is_flagged(self, tmp_path):
+        report = check_tree(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": "import pkg.b\nuse = pkg.b\n",
+                "pkg/b.py": "import pkg.a\nuse = pkg.a\n",
+            },
+        )
+        findings = flow_findings(report, "FLOW-004")
+        assert any("cycle" in f.message for f in findings)
+
+
+class TestFlow005:
+    def test_set_iteration_feeding_schema_doc_is_flagged(self, tmp_path):
+        report = check_tree(
+            tmp_path,
+            {
+                "pkg/export.py": (
+                    "def render(items):\n"
+                    "    seen = set(items)\n"
+                    "    rows = [x for x in seen]\n"
+                    "    return {'schema_version': 1, 'rows': rows}\n"
+                ),
+            },
+        )
+        findings = flow_findings(report, "FLOW-005")
+        assert len(findings) == 1
+
+    def test_sorted_set_is_clean(self, tmp_path):
+        report = check_tree(
+            tmp_path,
+            {
+                "pkg/export.py": (
+                    "def render(items):\n"
+                    "    seen = set(items)\n"
+                    "    rows = [x for x in sorted(seen)]\n"
+                    "    return {'schema_version': 1, 'rows': rows}\n"
+                ),
+            },
+        )
+        assert flow_findings(report, "FLOW-005") == []
+
+
+# ---------------------------------------------------------------------- #
+# graph export
+# ---------------------------------------------------------------------- #
+class TestGraphExport:
+    def _project(self, tmp_path):
+        return build_project(
+            tmp_path,
+            {
+                "pkg/__init__.py": "",
+                "pkg/a.py": (
+                    "from pkg.b import helper\n"
+                    "def caller():\n"
+                    "    return helper()\n"
+                ),
+                "pkg/b.py": (
+                    "def helper():\n"
+                    "    raise ValueError('x')\n"
+                ),
+            },
+        )
+
+    def test_document_validates_and_is_deterministic(self, tmp_path):
+        project = self._project(tmp_path)
+        doc = render_graph_document(project)
+        assert validate_graph_document(doc) == []
+        assert doc["meta"]["schema_version"] == GRAPH_SCHEMA_VERSION
+        assert doc == render_graph_document(project)
+
+    def test_document_content(self, tmp_path):
+        doc = render_graph_document(self._project(tmp_path))
+        edges = {(e["from"], e["to"]) for e in doc["import_graph"]["edges"]}
+        assert ("pkg.a", "pkg.b") in edges
+        by_name = {f["qualname"]: f for f in doc["call_graph"]["functions"]}
+        targets = {c["target"] for c in by_name["pkg.a.caller"]["calls"]}
+        assert "pkg.b.helper" in targets
+        effects = {e["qualname"]: e for e in doc["effects"]}
+        assert any("ValueError" in r for r in effects["pkg.a.caller"]["may_raise"])
+
+    def test_write_round_trips_through_validator(self, tmp_path):
+        project = self._project(tmp_path)
+        out = tmp_path / "graph.json"
+        write_graph_document(project, str(out))
+        loaded = json.loads(out.read_text())
+        assert validate_graph_document(loaded) == []
+
+    def test_validator_rejects_tampered_documents(self, tmp_path):
+        doc = render_graph_document(self._project(tmp_path))
+        doc["meta"]["schema_version"] = 99
+        assert validate_graph_document(doc)
+        assert validate_graph_document({"meta": {}})
+        assert validate_graph_document([])
