@@ -21,6 +21,12 @@ of the system, and writes a **schema-stable** ``BENCH_linking.json``:
 * ``snapshot`` — the fork-once / epoch-delta worker-update protocol:
   bytes shipped per refresh versus the re-pickling baseline (one full
   blob per refresh), with a post-refresh parity check;
+* ``scale``    — streaming-world tiers (1k / 50k / 500k users by
+  default): per tier, the backend ``LinkerConfig`` dispatch selects,
+  its build time, **index bytes** (precise ``label_bytes``, not
+  ``getsizeof`` underestimates), reachability-query percentiles, and —
+  at small tiers — a compact-vs-dict bit-identity gate
+  (docs/scaling.md);
 * ``perf``     — the counter/timer snapshot (cache hit rates, BFS counts).
 
 The workload is fully determined by ``seed``/``smoke``, so successive PRs
@@ -37,6 +43,7 @@ from __future__ import annotations
 import dataclasses
 import json
 import platform
+import random
 import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -48,6 +55,13 @@ from repro.core.linker import SocialTemporalLinker
 from repro.core.parallel import ParallelBatchLinker
 from repro.core.recency import RecencyPropagationNetwork
 from repro.eval.context import build_experiment
+from repro.graph.compact_labels import build_compact_two_hop_cover
+from repro.graph.dispatch import build_reachability_index
+from repro.graph.generators import (
+    StreamingWorldProfile,
+    stream_tweet_events,
+    streaming_world_graph,
+)
 from repro.graph.reachability import (
     weighted_reachability_from,
     weighted_reachability_from_per_target,
@@ -65,12 +79,19 @@ from repro.stream.profiles import quick_profiles
 
 _log = get_logger(__name__)
 
-SCHEMA_VERSION = 3
+SCHEMA_VERSION = 4
 
 #: section -> required keys; the CI smoke job and the tests validate every
 #: emitted document against this shape.
 _REQUIRED_SECTIONS: Dict[str, Tuple[str, ...]] = {
-    "meta": ("schema_version", "tool", "seed", "smoke", "workers_measured"),
+    "meta": (
+        "schema_version",
+        "tool",
+        "seed",
+        "smoke",
+        "workers_measured",
+        "tiers_measured",
+    ),
     "environment": ("python", "platform", "cpu_count", "start_method"),
     "world": ("users", "tweets", "entities", "graph_edges", "test_mentions"),
     "build": (
@@ -113,11 +134,33 @@ _REQUIRED_SECTIONS: Dict[str, Tuple[str, ...]] = {
         "resyncs",
         "outputs_identical",
     ),
+    "scale": ("tiers",),
     "perf": ("counters", "cache_hit_rates", "timers"),
 }
 
 _BATCH_RESULT_KEYS = (
     "workers", "seconds", "throughput_rps", "speedup_vs_1", "undersubscribed"
+)
+
+_SCALE_TIER_KEYS = (
+    "users",
+    "factions",
+    "edges",
+    "tweets",
+    "backend",
+    "stream_s",
+    "index_build_s",
+    "index_bytes",
+    "entries_per_node",
+    "queries",
+    "query_p50_us",
+    "query_p99_us",
+    "compact_build_s",
+    "compact_bytes",
+    "dict_cover_bytes",
+    "outputs_identical",
+    "memory_budget_bytes",
+    "within_budget",
 )
 
 
@@ -153,6 +196,19 @@ def validate_bench_document(doc: object) -> List[str]:
                 for key in _BATCH_RESULT_KEYS:
                     if key not in row:
                         problems.append(f"batch.results[{index}].{key} missing")
+    scale = doc.get("scale")
+    if isinstance(scale, dict):
+        tiers = scale.get("tiers")
+        if not isinstance(tiers, list) or not tiers:
+            problems.append("scale.tiers must be a non-empty list")
+        else:
+            for index, row in enumerate(tiers):
+                if not isinstance(row, dict):
+                    problems.append(f"scale.tiers[{index}] is not an object")
+                    continue
+                for key in _SCALE_TIER_KEYS:
+                    if key not in row:
+                        problems.append(f"scale.tiers[{index}].{key} missing")
     return problems
 
 
@@ -195,12 +251,14 @@ def compare_bench_documents(
     the numbers would not be comparable), a single-mention p50 regression
     beyond ``tolerance`` (relative), a cached run whose outputs were
     not bit-identical to the uncached oracle, a pool that diverged after
-    delta refreshes, or a *fully subscribed* multi-worker speedup falling
-    more than ``tolerance`` below the baseline's.  Build-time
-    regressions, lost batch throughput, undersubscribed speedup drops
-    (the runner has fewer cores than workers — on either side), and a
-    warm-cache speedup below ``2.0`` are warnings only: they track real
-    machines, not the code alone.
+    delta refreshes, a *fully subscribed* multi-worker speedup falling
+    more than ``tolerance`` below the baseline's, a scale tier whose
+    compact cover diverged from the dict-backed cover, or a tier whose
+    index blew its memory budget.  Build-time regressions, lost batch
+    throughput, undersubscribed speedup drops (the runner has fewer
+    cores than workers — on either side), a warm-cache speedup below
+    ``2.0``, and per-tier index-bytes growth are warnings only: they
+    track real machines, not the code alone.
     """
     if not 0.0 < tolerance:
         raise ValueError("tolerance must be positive")
@@ -288,6 +346,31 @@ def compare_bench_documents(
             f"snapshot delta reduction {reduction}x is below the "
             f"{_MIN_SNAPSHOT_REDUCTION}x target"
         )
+    baseline_tiers = {
+        row["users"]: row for row in baseline["scale"]["tiers"]
+    }
+    for row in current["scale"]["tiers"]:
+        users = row["users"]
+        if row["outputs_identical"] is False:
+            errors.append(
+                f"scale tier {users}: compact cover diverged from the "
+                "dict-backed cover (outputs_identical is false)"
+            )
+        if row["within_budget"] is False:
+            errors.append(
+                f"scale tier {users}: index_bytes {row['index_bytes']} "
+                f"exceeded the {row['memory_budget_bytes']}-byte budget"
+            )
+        before = baseline_tiers.get(users)
+        if before is None:
+            continue
+        now_bytes = float(row["index_bytes"])
+        then_bytes = float(before["index_bytes"])
+        if then_bytes > 0 and now_bytes > then_bytes * (1.0 + tolerance):
+            warnings.append(
+                f"scale tier {users}: index_bytes grew "
+                f"{now_bytes / then_bytes:.2f}x ({then_bytes} -> {now_bytes})"
+            )
     return errors, warnings
 
 
@@ -532,6 +615,145 @@ def _snapshot_bench(linker, requests: Sequence[LinkRequest], smoke: bool) -> Dic
 
 
 # ---------------------------------------------------------------------- #
+# scale tiers
+# ---------------------------------------------------------------------- #
+
+#: Node count up to which a tier *additionally* builds the dict-backed
+#: cover and bit-compares it against the compact cover (the identity
+#: gate).  Above this, the dict cover's build cost and RAM defeat the
+#: point of the tier run; identity at scale is covered by the randomized
+#: property suite instead.
+_SCALE_IDENTITY_CAP = 2_000
+
+#: Per-index memory budget applied to tier runs (docs/scaling.md): the
+#: compact cover must answer the full query API within this many bytes,
+#: pruning followee pools (never the distance backbone) to fit.  1 GiB
+#: clears the 500k-tier distance backbone (~0.5 GiB) while still forcing
+#: pool pruning once labels outgrow it.
+_SCALE_BUDGET_BYTES = 2**30
+
+#: Reachability queries sampled per tier for the latency percentiles.
+_SCALE_QUERY_COUNT = 2_000
+
+
+def scale_tier_profile(users: int, seed: int) -> StreamingWorldProfile:
+    """The hub/faction streaming world a tier benchmarks.
+
+    Factions scale with the user count so the faction size — the main
+    driver of 2-hop label width in this topology — stays bounded instead
+    of growing into a |faction|² mesh.
+    """
+    return StreamingWorldProfile(
+        num_users=users,
+        num_factions=max(8, users // 125),
+        seed=seed,
+    )
+
+
+def _scale_tier_bench(users: int, seed: int, config: LinkerConfig) -> Dict:
+    """Benchmark one streaming-world tier end to end.
+
+    Streams the world in (never materializing the full edge list),
+    builds whatever backend ``config`` dispatch selects for the size,
+    and reports build seconds, **precise** index bytes, and query
+    percentiles.  At small tiers the compact and dict-backed covers are
+    both built and bit-compared — the identity gate the CI ``bench-scale``
+    job enforces.
+    """
+    profile = scale_tier_profile(users, seed)
+    tier_config = dataclasses.replace(
+        config, index_memory_budget_bytes=_SCALE_BUDGET_BYTES
+    )
+    start = time.perf_counter()
+    graph = streaming_world_graph(profile)
+    tweets = sum(1 for _ in stream_tweet_events(profile))
+    stream_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    index = build_reachability_index(graph, tier_config)
+    index_build_s = time.perf_counter() - start
+    backend = tier_config.select_index_backend(graph.num_nodes)
+    index_bytes = index.size_bytes()
+    entries = (
+        index.num_label_entries()
+        if hasattr(index, "num_label_entries")
+        else index.nonzero_entries()
+    )
+
+    rng = random.Random(seed * 7_919 + users)
+    pairs = [
+        (rng.randrange(users), rng.randrange(users))
+        for _ in range(_SCALE_QUERY_COUNT)
+    ] if users else []
+    latencies: List[float] = []
+    for source, target in pairs:
+        begin = time.perf_counter()
+        index.reachability(source, target)
+        latencies.append(time.perf_counter() - begin)
+
+    compact_build_s: Optional[float] = None
+    compact_bytes: Optional[int] = None
+    dict_cover_bytes: Optional[int] = None
+    identical: Optional[bool] = None
+    if users <= _SCALE_IDENTITY_CAP:
+        start = time.perf_counter()
+        compact = build_compact_two_hop_cover(
+            graph,
+            max_hops=tier_config.max_hops,
+            memory_budget_bytes=_SCALE_BUDGET_BYTES,
+        )
+        compact_build_s = round(time.perf_counter() - start, 6)
+        dict_cover = build_two_hop_cover(graph, max_hops=tier_config.max_hops)
+        compact_bytes = compact.label_bytes()
+        dict_cover_bytes = dict_cover.label_bytes()
+        identical = all(
+            compact.distance(s, t) == dict_cover.distance(s, t)
+            and compact.query(s, t) == dict_cover.query(s, t)
+            and compact.reachability(s, t, exact_followees=False)
+            == dict_cover.reachability(s, t, exact_followees=False)
+            and compact.reachability(s, t, exact_followees=True)
+            == dict_cover.reachability(s, t, exact_followees=True)
+            for s, t in pairs
+        )
+    elif backend == "compact":
+        compact_build_s = round(index_build_s, 6)
+        compact_bytes = index_bytes
+
+    budget = tier_config.index_memory_budget_bytes
+    within_budget = True
+    if budget is not None and backend in ("compact", "two-hop"):
+        within_budget = index_bytes <= budget
+    return {
+        "users": users,
+        "factions": profile.num_factions,
+        "edges": graph.num_edges,
+        "tweets": tweets,
+        "backend": backend,
+        "stream_s": round(stream_s, 6),
+        "index_build_s": round(index_build_s, 6),
+        "index_bytes": index_bytes,
+        "entries_per_node": round(entries / users, 3) if users else 0.0,
+        "queries": len(latencies),
+        "query_p50_us": round(percentile(latencies, 50.0) * 1e6, 3),
+        "query_p99_us": round(percentile(latencies, 99.0) * 1e6, 3),
+        "compact_build_s": compact_build_s,
+        "compact_bytes": compact_bytes,
+        "dict_cover_bytes": dict_cover_bytes,
+        "outputs_identical": identical,
+        "memory_budget_bytes": budget,
+        "within_budget": within_budget,
+    }
+
+
+def _scale_bench(tiers: Sequence[int], seed: int, config: LinkerConfig) -> Dict:
+    rows = []
+    for users in tiers:
+        _log.info("scale tier: %d users", users)
+        rows.append(_scale_tier_bench(users, seed, config))
+    return {"tiers": rows}
+
+
+# ---------------------------------------------------------------------- #
 # entry point
 # ---------------------------------------------------------------------- #
 def run_bench(
@@ -539,12 +761,22 @@ def run_bench(
     smoke: bool = False,
     workers_list: Optional[Sequence[int]] = None,
     out: Optional[str] = "BENCH_linking.json",
+    tiers: Optional[Sequence[int]] = None,
 ) -> Dict:
-    """Run the full benchmark; returns (and optionally writes) the document."""
+    """Run the full benchmark; returns (and optionally writes) the document.
+
+    ``tiers`` selects the streaming-world scale tiers (user counts);
+    ``None`` means ``(1000,)`` for smoke runs and ``(1000, 50000,
+    500000)`` for full runs.
+    """
     if workers_list is None:
         workers_list = (1, 2) if smoke else (1, 2, 4)
     if 1 not in workers_list:
         raise ValueError("workers_list must include 1 (the speedup baseline)")
+    if tiers is None:
+        tiers = (1_000,) if smoke else (1_000, 50_000, 500_000)
+    if not tiers or any(t < 1 for t in tiers):
+        raise ValueError("tiers must be a non-empty list of positive user counts")
     PERF.reset()
     PERF.enable()
     try:
@@ -598,6 +830,7 @@ def run_bench(
         single = _single_mention_bench(linker, single_requests)
         single_cached = _cached_single_mention_bench(context, single_requests)
         batch = _batch_bench(linker, requests, workers_list)
+        scale = _scale_bench(tiers, seed, config)
         snapshot = _snapshot_bench(linker, requests, smoke)
 
         document = {
@@ -607,6 +840,7 @@ def run_bench(
                 "seed": seed,
                 "smoke": smoke,
                 "workers_measured": list(workers_list),
+                "tiers_measured": list(tiers),
             },
             "environment": {
                 "python": platform.python_version(),
@@ -626,6 +860,7 @@ def run_bench(
             "single_mention": single,
             "single_mention_cached": single_cached,
             "batch": batch,
+            "scale": scale,
             "snapshot": snapshot,
             "perf": PERF.snapshot(),
         }

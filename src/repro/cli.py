@@ -8,7 +8,7 @@ Subcommands::
     repro link      --world world.json.gz --surface jordan --user 7 --day 90
     repro search    --world world.json.gz --query "jordan dunk" --user 7
     repro stream    --world world.json.gz [--checkpoint ckpt.json --resume]
-    repro bench     [--smoke --workers 1 2 4 --out BENCH_linking.json]
+    repro bench     [--smoke --workers 1 2 4 --tiers 1000 50000 --out BENCH_linking.json]
     repro check     [src ...] [--strict --format json --baseline base.json]
     repro trace     [--scenario normal|abstention|degraded|all]
                     [--check-golden | --write-golden] [--metrics-out M.json]
@@ -188,6 +188,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument(
         "--workers", type=int, nargs="+", default=None,
         help="worker counts to measure, e.g. --workers 1 2 4 (must include 1)",
+    )
+    bench.add_argument(
+        "--tiers", type=int, nargs="+", default=None, metavar="USERS",
+        help="streaming-world scale tiers to measure, e.g. --tiers 1000 "
+        "50000 (default: 1000 for --smoke, else 1000 50000 500000)",
     )
     bench.add_argument(
         "--metrics-out", default=None,
@@ -728,7 +733,11 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 
     _metrics_begin(args.metrics_out)
     document = run_bench(
-        seed=args.seed, smoke=args.smoke, workers_list=args.workers, out=args.out
+        seed=args.seed,
+        smoke=args.smoke,
+        workers_list=args.workers,
+        out=args.out,
+        tiers=args.tiers,
     )
     print(
         format_table(
@@ -737,6 +746,22 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             f"({document['batch']['requests']} requests)",
         )
     )
+    tier_rows = [
+        {
+            "users": row["users"],
+            "backend": row["backend"],
+            "build_s": row["index_build_s"],
+            "index_MiB": round(row["index_bytes"] / 2**20, 2),
+            "q_p50_us": row["query_p50_us"],
+            "q_p99_us": row["query_p99_us"],
+            "identical": (
+                "n/a" if row["outputs_identical"] is None
+                else "yes" if row["outputs_identical"] else "NO"
+            ),
+        }
+        for row in document["scale"]["tiers"]
+    ]
+    print(format_table(tier_rows, title="scale tiers (streaming worlds)"))
     reach = document["reachability"]
     check = "identical" if reach["outputs_identical"] else "MISMATCH"
     print(

@@ -109,6 +109,21 @@ class LinkerConfig:
     #: Micro-batch front end: flush immediately once this many requests
     #: have coalesced, regardless of the delay budget.
     microbatch_max_batch: int = 64
+    #: Reachability index backend: ``"auto"`` picks by graph size (the
+    #: The-Pulse-style dispatch of ROADMAP item 1), or force one of
+    #: ``"closure"`` (extended transitive closure, Algorithm 1),
+    #: ``"two-hop"`` (dict-backed 2-hop cover, Algorithm 2), ``"compact"``
+    #: (array-backed 2-hop cover, docs/scaling.md).
+    index_backend: str = "auto"
+    #: ``"auto"`` node threshold: at or below it the closure's O(1) lookups
+    #: win; above it the |V|² (dense) or per-pair-dict (sparse) closure
+    #: stops fitting and the compact 2-hop cover takes over.
+    closure_max_nodes: int = 2000
+    #: Optional hard cap on a compact index's ``label_bytes()``.  The
+    #: distance backbone is never pruned; followee pools are dropped for
+    #: the least-central landmarks first, with exact lazy recovery at
+    #: query time (docs/scaling.md).  ``None`` stores every followee set.
+    index_memory_budget_bytes: Optional[int] = None
 
     def __post_init__(self) -> None:
         weights = (self.alpha, self.beta, self.gamma)
@@ -148,6 +163,15 @@ class LinkerConfig:
             raise ValueError("microbatch_max_delay_ms must be non-negative")
         if self.microbatch_max_batch < 1:
             raise ValueError("microbatch_max_batch must be at least 1")
+        if self.index_backend not in ("auto", "closure", "two-hop", "compact"):
+            raise ValueError(f"unknown index backend {self.index_backend!r}")
+        if self.closure_max_nodes < 0:
+            raise ValueError("closure_max_nodes must be non-negative")
+        if (
+            self.index_memory_budget_bytes is not None
+            and self.index_memory_budget_bytes < 1
+        ):
+            raise ValueError("index_memory_budget_bytes must be positive when set")
 
     def batch_dispatch(self, batch_size: int, workers: int) -> str:
         """Scale-aware dispatch decision: ``"serial"`` or ``"pool"``.
@@ -160,6 +184,20 @@ class LinkerConfig:
         if workers <= 1 or batch_size < self.parallel_min_batch:
             return "serial"
         return "pool"
+
+    def select_index_backend(self, num_nodes: int) -> str:
+        """Scale-aware reachability-index choice (ROADMAP item 1).
+
+        ``"auto"`` resolves by graph size: the transitive closure at or
+        below ``closure_max_nodes`` (O(1) lookups, |V|²-bounded build),
+        the compact 2-hop cover above it.  A forced ``index_backend``
+        short-circuits.  Like :meth:`batch_dispatch`, the choice moves
+        where the work happens, not what the linker decides — the
+        scale-dispatch regression tests pin decision parity.
+        """
+        if self.index_backend != "auto":
+            return self.index_backend
+        return "closure" if num_nodes <= self.closure_max_nodes else "compact"
 
     def with_weights(self, alpha: float, beta: float, gamma: float) -> "LinkerConfig":
         """Return a copy with the three feature weights replaced."""

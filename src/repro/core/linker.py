@@ -48,6 +48,7 @@ from repro.core.recency import (
 )
 from repro.core.scoring import ScoredCandidate, combine_scores
 from repro.graph.digraph import DiGraph
+from repro.graph.dispatch import build_reachability_index
 from repro.kb.complemented import ComplementedKnowledgebase
 from repro.stream.tweet import Tweet
 
@@ -252,6 +253,25 @@ class SocialTemporalLinker:
                 config=config,
             )
 
+    @classmethod
+    def with_scale_aware_index(
+        cls,
+        ckb: ComplementedKnowledgebase,
+        graph: DiGraph,
+        config: LinkerConfig = DEFAULT_CONFIG,
+        **kwargs,
+    ) -> "SocialTemporalLinker":
+        """Build a linker on the backend ``config.select_index_backend``
+        picks for this graph's size (ROADMAP item 1's dispatch).
+
+        The plain constructor keeps its cached-online-BFS default so
+        existing call sites (and golden traces) are untouched; this
+        factory is the production path where an index is built per world.
+        Emits an ``index.selected`` trace event.
+        """
+        provider = build_reachability_index(graph, config)
+        return cls(ckb, graph, config=config, reachability=provider, **kwargs)
+
     # ------------------------------------------------------------------ #
     # properties
     # ------------------------------------------------------------------ #
@@ -267,6 +287,12 @@ class SocialTemporalLinker:
     def graph(self) -> DiGraph:
         """The follow graph this linker scores against (shared, mutable)."""
         return self._graph
+
+    @property
+    def reachability_provider(self) -> ReachabilityProvider:
+        """The index answering Eq. 4 for this linker (closure, cover,
+        compact cover, or the cached online BFS default)."""
+        return self._reachability
 
     @property
     def candidate_generator(self) -> CandidateGenerator:

@@ -24,6 +24,7 @@ from repro.eval.harness import (
     ParallelSocialTemporalAdapter,
     SocialTemporalAdapter,
 )
+from repro.graph.dispatch import build_reachability_index
 from repro.graph.transitive_closure import (
     TransitiveClosure,
     build_transitive_closure_incremental,
@@ -74,6 +75,7 @@ class ExperimentContext:
     _scorer: Optional[IntraTweetScorer] = None
     _closure: Optional[TransitiveClosure] = None
     _propagation: Optional[RecencyPropagationNetwork] = None
+    _scale_index: Optional[object] = None
 
     # ------------------------------------------------------------------ #
     # shared heavy pieces (built once, reused across methods)
@@ -104,6 +106,17 @@ class ExperimentContext:
         return self._propagation
 
     @property
+    def reachability_index(self):
+        """The backend ``config.select_index_backend`` picks for this
+        world's graph (closure below the node threshold, compact 2-hop
+        cover above — docs/scaling.md)."""
+        if self._scale_index is None:
+            self._scale_index = build_reachability_index(
+                self.world.graph, self.config
+            )
+        return self._scale_index
+
+    @property
     def test_dataset(self) -> TweetDataset:
         return self.catalog.test
 
@@ -127,6 +140,10 @@ class ExperimentContext:
             provider = self.closure
         elif reachability == "online":
             provider = None  # linker builds cached online BFS itself
+        elif reachability == "auto":
+            # scale-aware dispatch: closure below the threshold, compact
+            # 2-hop cover above (ROADMAP item 1)
+            provider = self.reachability_index
         else:
             raise ValueError(f"unknown reachability provider {reachability!r}")
         propagation = (

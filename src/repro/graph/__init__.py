@@ -11,13 +11,29 @@ Sec. 4.1 of the paper lives here:
 * :mod:`repro.graph.transitive_closure` — extended transitive closure with
   the naive and the incremental (Algorithm 1) builders.
 * :mod:`repro.graph.two_hop` — the extended 2-hop cover (Algorithm 2).
-* :mod:`repro.graph.generators` — synthetic followee-follower networks.
+* :mod:`repro.graph.compact_labels` — the same cover in flat
+  ``array``/``bytes`` buffers with an optional memory budget (the
+  production index past the closure's |V|² wall — docs/scaling.md).
+* :mod:`repro.graph.dispatch` — scale-aware index selection.
+* :mod:`repro.graph.generators` — synthetic followee-follower networks,
+  including the streaming 100k–1M-user hub/faction worlds.
 """
 
+from repro.graph.compact_labels import (
+    CompactTwoHopCover,
+    build_compact_two_hop_cover,
+)
 from repro.graph.digraph import DiGraph
+from repro.graph.dispatch import build_reachability_index
 from repro.graph.dynamic import DynamicTransitiveClosure
 from repro.graph.generators import (
     SocialGraphConfig,
+    StreamingChunk,
+    StreamingWorldProfile,
+    stream_follow_edges,
+    stream_tweet_events,
+    stream_user_chunks,
+    streaming_world_graph,
     topical_social_graph,
     random_digraph,
 )
@@ -32,18 +48,27 @@ from repro.graph.transitive_closure import (
 from repro.graph.two_hop import TwoHopCover, build_two_hop_cover
 
 __all__ = [
+    "CompactTwoHopCover",
     "DiGraph",
     "DynamicTransitiveClosure",
     "GrailIndex",
     "GrailPrunedReachability",
     "SocialGraphConfig",
+    "StreamingChunk",
+    "StreamingWorldProfile",
     "TransitiveClosure",
     "TwoHopCover",
+    "build_compact_two_hop_cover",
+    "build_reachability_index",
     "build_transitive_closure_incremental",
     "build_transitive_closure_naive",
     "build_transitive_closure_parallel",
     "build_two_hop_cover",
     "random_digraph",
+    "stream_follow_edges",
+    "stream_tweet_events",
+    "stream_user_chunks",
+    "streaming_world_graph",
     "topical_social_graph",
     "weighted_reachability",
 ]

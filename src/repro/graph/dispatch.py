@@ -1,0 +1,63 @@
+"""Scale-aware reachability-index selection (ROADMAP item 1).
+
+One entry point, :func:`build_reachability_index`, turns a follow graph
+plus a :class:`~repro.config.LinkerConfig` into the reachability provider
+the linker should score Eq. 4 against at that scale:
+
+* at or below ``closure_max_nodes`` — the extended transitive closure
+  (Algorithm 1): O(1) lookups, but a |V|²-bounded build;
+* above it — the compact 2-hop cover (Algorithm 2 in flat buffers,
+  :mod:`repro.graph.compact_labels`) in exact-followees mode, so both
+  backends evaluate Eq. 4 on the exact ``F_st`` and link decisions match.
+
+The chosen backend is recorded in an ``index.selected`` trace event — the
+dispatch equivalent of the ``build.serial_fallback`` breadcrumb — so a
+production trace always shows *which* index served a linker and why.
+"""
+
+from __future__ import annotations
+
+from repro.config import DEFAULT_CONFIG, LinkerConfig
+from repro.graph.compact_labels import build_compact_two_hop_cover
+from repro.graph.digraph import DiGraph
+from repro.graph.transitive_closure import build_transitive_closure_incremental
+from repro.graph.two_hop import build_two_hop_cover
+from repro.obs.trace import TRACE
+
+__all__ = ["build_reachability_index"]
+
+
+def build_reachability_index(
+    graph: DiGraph, config: LinkerConfig = DEFAULT_CONFIG, workers: int = 1
+):
+    """Build the reachability provider ``config`` selects for ``graph``.
+
+    Every returned object satisfies the
+    :class:`repro.core.interest.ReachabilityProvider` protocol; the
+    backends differ in build cost and memory, not in link decisions
+    (pinned by the scale-dispatch regression tests).
+    """
+    backend = config.select_index_backend(graph.num_nodes)
+    TRACE.event(
+        "index.selected",
+        backend=backend,
+        requested=config.index_backend,
+        nodes=graph.num_nodes,
+        edges=graph.num_edges,
+        closure_max_nodes=config.closure_max_nodes,
+        memory_budget_bytes=config.index_memory_budget_bytes,
+    )
+    if backend == "closure":
+        return build_transitive_closure_incremental(
+            graph, max_hops=config.max_hops
+        )
+    if backend == "two-hop":
+        return build_two_hop_cover(
+            graph, max_hops=config.max_hops, workers=workers
+        )
+    return build_compact_two_hop_cover(
+        graph,
+        max_hops=config.max_hops,
+        memory_budget_bytes=config.index_memory_budget_bytes,
+        exact_reachability=True,
+    )

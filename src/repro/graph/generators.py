@@ -17,10 +17,11 @@ from __future__ import annotations
 import dataclasses
 import math
 import random
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.config import DAY
 from repro.graph.digraph import DiGraph
 
 
@@ -129,6 +130,287 @@ def topical_social_graph(
             other = rng.randrange(num_users)
             if other != user:
                 graph.add_edge(user, other)
+    return graph
+
+
+# ---------------------------------------------------------------------- #
+# streaming million-user worlds (docs/scaling.md)
+# ---------------------------------------------------------------------- #
+@dataclasses.dataclass(frozen=True)
+class StreamingWorldProfile:
+    """Knobs of the streaming hub/faction follow-graph + tweet generator.
+
+    Built for the 100k–1M-user scale tiers: everything about a user —
+    faction membership, followees, tweets — is derived from a per-user
+    seeded RNG and O(1) arithmetic over the profile, so the world can be
+    emitted user by user without materializing any global state.  The id
+    layout is positional: ids ``[0, global_hubs)`` are bandwagon
+    celebrities everyone may follow, the next ``num_factions *
+    faction_hubs`` ids are faction hub accounts, and every remaining id
+    belongs to faction ``(id - num_hubs) % num_factions``.
+    """
+
+    #: Total users (nodes of the follow graph).
+    num_users: int = 100_000
+    #: Number of interest factions (communities).
+    num_factions: int = 64
+    #: Hub (celebrity) accounts per faction.
+    faction_hubs: int = 2
+    #: Global celebrity accounts followed across factions.
+    global_hubs: int = 8
+    #: Base probability of following a global hub; scaled per hub by the
+    #: bandwagon weight ``1 / sqrt(1 + hub_rank)`` (earlier hubs are the
+    #: established celebrities, so they keep attracting more followers).
+    global_hub_follow_prob: float = 0.12
+    #: Probability of following each hub of the user's own faction.
+    faction_hub_follow_prob: float = 0.5
+    #: Expected members a faction hub follows *back* (Poisson).  Follow-backs
+    #: make hubs transit nodes instead of pure sinks — member→hub→member
+    #: paths exist, matching real mutual-follow behavior and keeping 2-hop
+    #: labels hub-dominated (landmarks on actual shortest paths) instead of
+    #: mesh-sized.
+    hub_follow_back: float = 12.0
+    #: Probability a global hub follows the first hub of each faction (the
+    #: "celebrities follow insiders" edges that put global hubs on
+    #: cross-faction shortest paths).
+    global_hub_insider_prob: float = 0.25
+    #: Expected intra-faction peer follows per user (Poisson).
+    peers_per_user: float = 4.0
+    #: Expected uniformly random follows per user (weak ties).
+    weak_ties_per_user: float = 1.0
+    #: Fraction of users who are passive lurkers (0–2 follows, no signal).
+    lurker_rate: float = 0.25
+    #: Expected tweets per regular user over the horizon (Poisson).
+    tweets_per_user: float = 2.0
+    #: Multiplier on ``tweets_per_user`` for hub accounts.
+    hub_tweet_multiplier: float = 20.0
+    #: Entities mentioned per faction; tweet entity ids are
+    #: ``faction * entities_per_faction + rank`` with a popularity skew.
+    entities_per_faction: int = 12
+    #: Stream horizon in seconds.
+    horizon: float = 30 * DAY
+    #: Master seed; each user derives an independent sub-seed from it.
+    seed: int = 11
+
+    def __post_init__(self) -> None:
+        if self.num_users <= self.num_hubs:
+            raise ValueError(
+                f"num_users={self.num_users} must exceed the "
+                f"{self.num_hubs} hub accounts"
+            )
+        if self.num_factions < 1 or self.faction_hubs < 0 or self.global_hubs < 0:
+            raise ValueError("faction/hub counts must be positive")
+        if not 0.0 <= self.lurker_rate <= 1.0:
+            raise ValueError("lurker_rate must be in [0, 1]")
+        if self.horizon <= 0:
+            raise ValueError("horizon must be positive")
+        if self.entities_per_faction < 1:
+            raise ValueError("entities_per_faction must be at least 1")
+
+    @property
+    def num_hubs(self) -> int:
+        return self.global_hubs + self.num_factions * self.faction_hubs
+
+    @property
+    def num_entities(self) -> int:
+        return self.num_factions * self.entities_per_faction
+
+    def hub_ids(self) -> range:
+        """All hub account ids (global first, then faction hubs)."""
+        return range(self.num_hubs)
+
+    def faction_of(self, user: int) -> int:
+        """Faction of any non-global-hub user id (O(1) arithmetic)."""
+        if user < self.global_hubs:
+            raise ValueError(f"user {user} is a global hub, not in a faction")
+        if user < self.num_hubs:
+            return (user - self.global_hubs) // self.faction_hubs
+        return (user - self.num_hubs) % self.num_factions
+
+    def faction_member(self, faction: int, index: int) -> int:
+        """``index``-th regular member of ``faction``."""
+        return self.num_hubs + faction + index * self.num_factions
+
+    def faction_size(self, faction: int) -> int:
+        """Number of regular (non-hub) members of ``faction``."""
+        regular = self.num_users - self.num_hubs
+        return (regular - faction + self.num_factions - 1) // self.num_factions
+
+
+@dataclasses.dataclass(frozen=True)
+class StreamingChunk:
+    """One consumable block of the streaming world: users ``[start, stop)``
+    with their follow edges and ``(timestamp, user, entity)`` tweet events."""
+
+    start: int
+    stop: int
+    edges: Tuple[Tuple[int, int], ...]
+    tweets: Tuple[Tuple[float, int, int], ...]
+
+
+def _user_rng(profile: StreamingWorldProfile, user: int, stream: int) -> random.Random:
+    """Independent deterministic RNG per (user, stream).
+
+    ``seed * C + user`` is injective for ``user < C``, so distinct users
+    never share a sub-seed under one master seed; ``stream`` separates the
+    edge draw sequence from the tweet draw sequence, which is what makes
+    the two iterators independently consumable (reading one never shifts
+    the other).  Plain int arithmetic, never ``hash()`` — str hashing is
+    salted per process and would break cross-run determinism.
+    """
+    return random.Random((profile.seed * 2 + stream) * 1_000_003 + user)
+
+
+def _user_edges(
+    profile: StreamingWorldProfile, user: int
+) -> List[Tuple[int, int]]:
+    rng = _user_rng(profile, user, stream=0)
+    followed = {user}
+    edges: List[Tuple[int, int]] = []
+
+    def follow(target: int) -> None:
+        if target not in followed:
+            followed.add(target)
+            edges.append((user, target))
+
+    if user < profile.global_hubs:
+        # celebrities follow a couple of each other plus faction insiders
+        for other in range(profile.global_hubs):
+            if other != user and rng.random() < 0.3:
+                follow(other)
+        for faction in range(profile.num_factions):
+            if profile.faction_hubs and (
+                rng.random() < profile.global_hub_insider_prob
+            ):
+                follow(profile.global_hubs + faction * profile.faction_hubs)
+        return edges
+    if user < profile.num_hubs:
+        # faction hubs follow the global celebrities and — crucially for
+        # both realism and index size — a sample of their own members
+        for rank in range(profile.global_hubs):
+            weight = 1.0 / math.sqrt(1.0 + rank)
+            if rng.random() < profile.global_hub_follow_prob * weight:
+                follow(rank)
+        faction = profile.faction_of(user)
+        size = profile.faction_size(faction)
+        if size:
+            for _ in range(_poisson_like(profile.hub_follow_back, rng)):
+                # follow-backs target the faction's mini-hubs (same
+                # quadratic skew as peer follows), closing the
+                # member→hub→mini-hub→member transit loops
+                follow(profile.faction_member(faction, int(size * rng.random() ** 2)))
+        return edges
+    if rng.random() < profile.lurker_rate:
+        # passive information seeker: at most a couple of random follows
+        for _ in range(rng.randint(0, 2)):
+            target = rng.randrange(profile.num_users)
+            if target != user:
+                follow(target)
+        return edges
+    faction = profile.faction_of(user)
+    # 1. bandwagon: global hubs, rank-skewed (the earlier the hotter)
+    for rank in range(profile.global_hubs):
+        weight = 1.0 / math.sqrt(1.0 + rank)
+        if rng.random() < profile.global_hub_follow_prob * weight:
+            follow(rank)
+    # 2. own faction's hub accounts
+    first_hub = profile.global_hubs + faction * profile.faction_hubs
+    for hub in range(first_hub, first_hub + profile.faction_hubs):
+        if rng.random() < profile.faction_hub_follow_prob:
+            follow(hub)
+    # 3. intra-faction peers (homophily) with a bandwagon skew: the
+    #    quadratic transform concentrates follows on each faction's
+    #    low-index members, who become mini-hubs with heavy in-degree —
+    #    the preferential-attachment shape of real follow graphs (and what
+    #    keeps 2-hop labels hub-dominated instead of mesh-sized)
+    size = profile.faction_size(faction)
+    if size > 1:
+        for _ in range(_poisson_like(profile.peers_per_user, rng)):
+            peer = profile.faction_member(faction, int(size * rng.random() ** 2))
+            if peer != user:
+                follow(peer)
+    # 4. weak ties across the whole graph (small-world shortcuts)
+    for _ in range(_poisson_like(profile.weak_ties_per_user, rng)):
+        target = rng.randrange(profile.num_users)
+        if target != user:
+            follow(target)
+    return edges
+
+
+def _user_tweets(
+    profile: StreamingWorldProfile, user: int
+) -> List[Tuple[float, int, int]]:
+    rng = _user_rng(profile, user, stream=1)
+    mean = profile.tweets_per_user
+    if user < profile.num_hubs:
+        mean *= profile.hub_tweet_multiplier
+    count = _poisson_like(mean, rng)
+    if not count:
+        return []
+    if user < profile.global_hubs:
+        faction = rng.randrange(profile.num_factions)
+    else:
+        faction = profile.faction_of(user)
+    tweets: List[Tuple[float, int, int]] = []
+    for _ in range(count):
+        timestamp = rng.random() * profile.horizon
+        # popularity skew inside the faction's entity slate: rank 0 is the
+        # head entity, the tail thins out quadratically
+        rank = int(profile.entities_per_faction * rng.random() ** 2)
+        entity = faction * profile.entities_per_faction + min(
+            rank, profile.entities_per_faction - 1
+        )
+        tweets.append((timestamp, user, entity))
+    tweets.sort()
+    return tweets
+
+
+def stream_user_chunks(
+    profile: StreamingWorldProfile, chunk_size: int = 10_000
+) -> Iterator[StreamingChunk]:
+    """Yield the world in bounded user blocks.
+
+    Peak memory is O(chunk) — the 100k-tier tracemalloc test pins this.
+    Because every user's output depends only on (seed, user id), the
+    concatenation of chunks is byte-identical for *any* chunk size and to
+    the eager :func:`stream_follow_edges` / :func:`stream_tweet_events`.
+    """
+    if chunk_size < 1:
+        raise ValueError("chunk_size must be at least 1")
+    for start in range(0, profile.num_users, chunk_size):
+        stop = min(start + chunk_size, profile.num_users)
+        edges: List[Tuple[int, int]] = []
+        tweets: List[Tuple[float, int, int]] = []
+        for user in range(start, stop):
+            edges.extend(_user_edges(profile, user))
+            tweets.extend(_user_tweets(profile, user))
+        yield StreamingChunk(start, stop, tuple(edges), tuple(tweets))
+
+
+def stream_follow_edges(
+    profile: StreamingWorldProfile,
+) -> Iterator[Tuple[int, int]]:
+    """All follow edges ``(follower, followee)``, user-major order."""
+    for user in range(profile.num_users):
+        yield from _user_edges(profile, user)
+
+
+def stream_tweet_events(
+    profile: StreamingWorldProfile,
+) -> Iterator[Tuple[float, int, int]]:
+    """All ``(timestamp, user, entity)`` events, user-major order
+    (timestamps sort within a user, not globally — consumers needing a
+    global time order merge chunks, which stays O(chunk) per step)."""
+    for user in range(profile.num_users):
+        yield from _user_tweets(profile, user)
+
+
+def streaming_world_graph(profile: StreamingWorldProfile) -> DiGraph:
+    """Materialize just the follow graph (the index build input); tweet
+    events stay streamable."""
+    graph = DiGraph(profile.num_users)
+    for u, v in stream_follow_edges(profile):
+        graph.add_edge(u, v)
     return graph
 
 

@@ -154,6 +154,17 @@ class TwoHopCover:
         return (1.0 / d_st) * (len(followees) / num_followees)
 
     # ------------------------------------------------------------------ #
+    # label access (read-only; used by the compact freezer and tests)
+    # ------------------------------------------------------------------ #
+    def in_label(self, node: int) -> Dict[int, int]:
+        """``L_in(node)`` — treat as read-only."""
+        return self._label_in[node]
+
+    def out_label(self, node: int) -> Dict[int, Tuple[int, Set[int]]]:
+        """``L_out(node)`` — treat as read-only."""
+        return self._label_out[node]
+
+    # ------------------------------------------------------------------ #
     # statistics (Table 5 columns)
     # ------------------------------------------------------------------ #
     def num_label_entries(self) -> int:
@@ -162,17 +173,36 @@ class TwoHopCover:
         entries += sum(len(lbl) for lbl in self._label_out)
         return entries
 
-    def size_bytes(self) -> int:
-        """Approximate index footprint: in-labels cost one (pivot, dist)
-        pair; out-labels additionally store the followee set."""
+    def label_bytes(self) -> int:
+        """Measured index footprint.
+
+        Sums ``sys.getsizeof`` over the objects the labels actually hold:
+        the per-node dicts (whose reported size already includes the
+        allocated hash table), the ``(dist, followee_set)`` entry tuples,
+        the followee sets themselves, and one int object per stored pivot
+        key, distance, and followee member.  The previous estimate
+        (``getsizeof(dict) + 16·len`` and ``24 + 8·|F|`` per entry)
+        undercounted a CPython set by an order of magnitude — a ``set``
+        with a few members costs ~216 bytes, not 24 — which is exactly the
+        overhead that motivates :mod:`repro.graph.compact_labels`.
+        """
+        int_size = sys.getsizeof(1 << 16)  # any node id / distance int
         size = 0
         for lbl in self._label_in:
-            size += sys.getsizeof(lbl) + 16 * len(lbl)
+            size += sys.getsizeof(lbl) + 2 * int_size * len(lbl)
         for lbl in self._label_out:
             size += sys.getsizeof(lbl)
-            for _, (_, followees) in lbl.items():
-                size += 24 + 8 * len(followees)
+            for _, entry in lbl.items():
+                followees = entry[1]
+                size += 2 * int_size  # pivot key + stored distance
+                size += sys.getsizeof(entry)  # the (dist, set) tuple
+                size += sys.getsizeof(followees) + int_size * len(followees)
         return size
+
+    def size_bytes(self) -> int:
+        """Alias of :meth:`label_bytes` (kept for API parity; the old
+        per-entry byte constants underestimated real CPython objects)."""
+        return self.label_bytes()
 
 
 def build_two_hop_cover(

@@ -1,0 +1,208 @@
+"""Scale-aware index dispatch: same decisions, observable choice.
+
+``LinkerConfig.select_index_backend`` moves where Eq. 4 is answered
+(closure below the node threshold, compact 2-hop cover above), never
+*what* the linker decides — these tests pin link-decision parity across
+backends at and around the threshold, assert the ``index.selected``
+trace breadcrumb, and cover the parallel snapshot path with a compact
+provider.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.config import DEFAULT_CONFIG, LinkerConfig
+from repro.core.linker import SocialTemporalLinker
+from repro.core.parallel import ParallelBatchLinker
+from repro.graph.compact_labels import CompactTwoHopCover
+from repro.graph.dispatch import build_reachability_index
+from repro.graph.transitive_closure import TransitiveClosure
+from repro.graph.two_hop import TwoHopCover
+from repro.obs.trace import TRACE
+
+from conftest import random_graph
+
+
+@pytest.fixture(autouse=True)
+def clean_trace():
+    TRACE.reset()
+    TRACE.enable()
+    yield
+    TRACE.reset()
+    TRACE.disable()
+
+
+def _selection_events():
+    return [
+        event
+        for span in TRACE.drain()
+        for event in span.events
+        if event.name == "index.selected"
+    ]
+
+
+class TestConfigValidation:
+    def test_defaults(self):
+        assert DEFAULT_CONFIG.index_backend == "auto"
+        assert DEFAULT_CONFIG.closure_max_nodes == 2000
+        assert DEFAULT_CONFIG.index_memory_budget_bytes is None
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError):
+            LinkerConfig(index_backend="quantum")
+
+    def test_rejects_negative_threshold(self):
+        with pytest.raises(ValueError):
+            LinkerConfig(closure_max_nodes=-1)
+
+    def test_rejects_non_positive_budget(self):
+        with pytest.raises(ValueError):
+            LinkerConfig(index_memory_budget_bytes=0)
+
+
+class TestSelection:
+    def test_auto_at_and_around_threshold(self):
+        config = LinkerConfig(closure_max_nodes=100)
+        assert config.select_index_backend(99) == "closure"
+        assert config.select_index_backend(100) == "closure"
+        assert config.select_index_backend(101) == "compact"
+
+    @pytest.mark.parametrize("backend", ["closure", "two-hop", "compact"])
+    def test_forced_backend_short_circuits(self, backend):
+        config = LinkerConfig(index_backend=backend, closure_max_nodes=100)
+        assert config.select_index_backend(2) == backend
+        assert config.select_index_backend(10_000) == backend
+
+
+class TestDispatchBuild:
+    def test_builds_closure_below_threshold(self):
+        graph = random_graph(30, 120, seed=1)
+        index = build_reachability_index(graph, LinkerConfig(closure_max_nodes=100))
+        assert isinstance(index, TransitiveClosure)
+
+    def test_builds_compact_above_threshold(self):
+        graph = random_graph(30, 120, seed=1)
+        index = build_reachability_index(graph, LinkerConfig(closure_max_nodes=10))
+        assert isinstance(index, CompactTwoHopCover)
+
+    def test_forced_two_hop(self):
+        graph = random_graph(30, 120, seed=1)
+        index = build_reachability_index(graph, LinkerConfig(index_backend="two-hop"))
+        assert isinstance(index, TwoHopCover)
+
+    def test_selection_is_traced(self):
+        graph = random_graph(30, 120, seed=1)
+        config = LinkerConfig(closure_max_nodes=10, index_memory_budget_bytes=2**20)
+        with TRACE.span("test.dispatch"):
+            build_reachability_index(graph, config)
+        events = _selection_events()
+        assert len(events) == 1
+        attrs = events[0].attributes
+        assert attrs["backend"] == "compact"
+        assert attrs["requested"] == "auto"
+        assert attrs["nodes"] == 30
+        assert attrs["edges"] == graph.num_edges
+        assert attrs["closure_max_nodes"] == 10
+        assert attrs["memory_budget_bytes"] == 2**20
+
+    def test_budget_reaches_compact_build(self):
+        graph = random_graph(30, 120, seed=1)
+        config = LinkerConfig(closure_max_nodes=10, index_memory_budget_bytes=2**20)
+        index = build_reachability_index(graph, config)
+        assert index.memory_budget_bytes == 2**20
+
+
+class TestDecisionParity:
+    """Same world, both backends, identical link decisions."""
+
+    def _requests(self, context, cap=120):
+        return [
+            (m.surface, t.user, t.timestamp)
+            for t in context.test_dataset.tweets
+            for m in t.mentions
+        ][:cap]
+
+    def _decisions(self, context, provider):
+        """Link decisions: ranked entity ids + degradation (scores are
+        compared approximately — the dense closure stores R in float32
+        while the compact cover computes float64-exact values, so ~1e-8
+        score drift is expected and must never reorder a ranking)."""
+        linker = SocialTemporalLinker(
+            context.ckb,
+            context.world.graph,
+            config=context.config,
+            reachability=provider,
+            propagation_network=context.propagation_network,
+        )
+        return [
+            linker.link(surface, user, now)
+            for surface, user, now in self._requests(context)
+        ]
+
+    def test_closure_and_compact_link_identically(self, small_context):
+        nodes = small_context.world.graph.num_nodes
+        below = dataclasses.replace(
+            small_context.config, closure_max_nodes=nodes
+        )
+        above = dataclasses.replace(
+            small_context.config, closure_max_nodes=nodes - 1
+        )
+        closure = build_reachability_index(small_context.world.graph, below)
+        compact = build_reachability_index(small_context.world.graph, above)
+        assert isinstance(closure, TransitiveClosure)
+        assert isinstance(compact, CompactTwoHopCover)
+        via_closure = self._decisions(small_context, closure)
+        via_compact = self._decisions(small_context, compact)
+        assert len(via_closure) == len(via_compact) > 0
+        for a, b in zip(via_closure, via_compact):
+            assert [c.entity_id for c in a.ranked] == [
+                c.entity_id for c in b.ranked
+            ]
+            assert a.degradation == b.degradation
+            for ca, cb in zip(a.ranked, b.ranked):
+                assert ca.score == pytest.approx(cb.score, abs=1e-6)
+
+    def test_context_auto_provider_matches_default(self, small_context):
+        auto = small_context.social_temporal(reachability="auto")
+        default = small_context.social_temporal()
+        for surface, user, now in self._requests(small_context, cap=60):
+            a = auto._linker.link(surface, user, now)
+            b = default._linker.link(surface, user, now)
+            assert a.ranked == b.ranked
+            assert a.degradation == b.degradation
+
+    def test_with_scale_aware_index_classmethod(self, small_context):
+        config = dataclasses.replace(small_context.config, closure_max_nodes=1)
+        linker = SocialTemporalLinker.with_scale_aware_index(
+            small_context.ckb, small_context.world.graph, config=config
+        )
+        assert isinstance(linker.reachability_provider, CompactTwoHopCover)
+        surface, user, now = self._requests(small_context, cap=1)[0]
+        oracle = small_context.social_temporal()._linker.link(surface, user, now)
+        linked = linker.link(surface, user, now)
+        assert [c.entity_id for c in linked.ranked] == [
+            c.entity_id for c in oracle.ranked
+        ]
+
+    def test_snapshot_path_with_compact_provider(self, small_context):
+        """The compact index survives pickling into pool workers."""
+        config = dataclasses.replace(small_context.config, closure_max_nodes=1)
+        linker = SocialTemporalLinker.with_scale_aware_index(
+            small_context.ckb, small_context.world.graph, config=config
+        )
+        blob = pickle.dumps(linker.reachability_provider)
+        assert isinstance(pickle.loads(blob), CompactTwoHopCover)
+        from repro.core.batch import LinkRequest
+
+        requests = [
+            LinkRequest(surface=s, user=u, now=n)
+            for s, u, n in self._requests(small_context, cap=40)
+        ]
+        serial = [linker.link(r.surface, r.user, r.now) for r in requests]
+        with ParallelBatchLinker(linker, workers=2, min_pool_batch=1) as pool:
+            parallel = pool.link_batch(requests)
+        assert [r.ranked for r in parallel] == [r.ranked for r in serial]
