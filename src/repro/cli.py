@@ -308,6 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="with --microbatch: worker processes behind each tenant's "
         "coalescer (>1 uses the persistent sharded pool)",
     )
+    serve.add_argument(
+        "--admin-token", default=None,
+        help="bearer token enabling the tenant admin endpoint "
+        "(POST/DELETE /admin/v1/tenants); without it admin routes 404",
+    )
     _add_tenant_arguments(serve)
     _add_chaos_arguments(serve)
 
@@ -343,6 +348,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--out", default="LOAD_report.json",
         help="report document path (schema-stable JSON)",
     )
+    load.add_argument(
+        "--pool", type=int, default=8,
+        help="with --url: worker connections of the concurrent open-loop "
+        "client (arrivals are never gated on responses)",
+    )
+    load.add_argument(
+        "--arrivals", choices=("poisson", "uniform"), default="poisson",
+        help="arrival-gap model: seeded exponential gaps (default) or "
+        "deterministic 1/rate spacing",
+    )
     _add_tenant_arguments(load)
     _add_chaos_arguments(load)
     return parser
@@ -351,7 +366,8 @@ def build_parser() -> argparse.ArgumentParser:
 def _add_tenant_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--tenants", default="alpha,beta",
-        help="comma-separated tenant names to host",
+        help="comma-separated tenants to host, each `name` or "
+        "`name:admission-class` (classes from --admission-classes)",
     )
     parser.add_argument(
         "--tenant-rate", type=float, default=50.0,
@@ -372,6 +388,12 @@ def _add_tenant_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--queue-limit", type=int, default=8,
         help="bounded queue positions beyond --capacity before shedding",
+    )
+    parser.add_argument(
+        "--admission-classes", default=None,
+        help="named admission classes `name=capacity:queue[,...]` "
+        "(e.g. 'gold=8:16,bronze=2:2'); default: one 'default' class "
+        "from --capacity/--queue-limit",
     )
     parser.add_argument(
         "--threshold", type=int, default=10,
@@ -983,23 +1005,72 @@ def _chaos_from_args(args: argparse.Namespace):
 
 
 def _tenant_specs(args: argparse.Namespace):
+    from repro.serve.admission import DEFAULT_CLASS
     from repro.serve.tenants import TenantSpec
 
-    names = [name.strip() for name in args.tenants.split(",") if name.strip()]
-    return [
-        TenantSpec(
-            name=name,
-            rate=args.tenant_rate,
-            burst=args.tenant_burst,
-            deadline_ms=args.deadline_ms,
+    specs = []
+    for entry in (piece.strip() for piece in args.tenants.split(",")):
+        if not entry:
+            continue
+        name, _, admission_class = entry.partition(":")
+        specs.append(
+            TenantSpec(
+                name=name,
+                rate=args.tenant_rate,
+                burst=args.tenant_burst,
+                deadline_ms=args.deadline_ms,
+                admission_class=admission_class or DEFAULT_CLASS,
+            )
         )
-        for name in names
-    ]
+    return specs
+
+
+def _admission_from_args(args: argparse.Namespace):
+    """Build the classed admission controller the flags describe.
+
+    ``--admission-classes 'gold=8:16,bronze=2:2'`` declares named classes
+    (capacity:queue each); without it a single ``default`` class is sized
+    from ``--capacity``/``--queue-limit`` — byte-identical behaviour to
+    the pre-classes global controller.
+    """
+    from repro.serve.admission import (
+        DEFAULT_CLASS,
+        AdmissionClass,
+        ClassedAdmissionController,
+    )
+
+    spec = getattr(args, "admission_classes", None)
+    if not spec:
+        return ClassedAdmissionController([
+            AdmissionClass(
+                name=DEFAULT_CLASS,
+                capacity=args.capacity,
+                queue_limit=args.queue_limit,
+            )
+        ])
+    classes = []
+    for entry in (piece.strip() for piece in spec.split(",")):
+        if not entry:
+            continue
+        name, eq, sizing = entry.partition("=")
+        capacity, colon, queue_limit = sizing.partition(":")
+        if not (eq and colon):
+            raise SystemExit(
+                f"--admission-classes entry {entry!r} is not name=capacity:queue"
+            )
+        try:
+            classes.append(
+                AdmissionClass(
+                    name=name, capacity=int(capacity), queue_limit=int(queue_limit)
+                )
+            )
+        except ValueError as error:
+            raise SystemExit(f"--admission-classes entry {entry!r}: {error}")
+    return ClassedAdmissionController(classes)
 
 
 def _build_serve_app(args: argparse.Namespace, clock, sleep, defer_release: bool):
     """Shared wiring of ``repro serve`` and in-process ``repro load``."""
-    from repro.serve.admission import AdmissionController
     from repro.serve.handlers import ServeApp
     from repro.serve.tenants import build_tenant_registry
 
@@ -1012,11 +1083,12 @@ def _build_serve_app(args: argparse.Namespace, clock, sleep, defer_release: bool
         sleep=sleep,
         threshold=args.threshold,
     )
-    admission = AdmissionController(
-        capacity=args.capacity, queue_limit=args.queue_limit
-    )
     app = ServeApp(
-        registry, admission=admission, clock=clock, defer_release=defer_release
+        registry,
+        admission=_admission_from_args(args),
+        clock=clock,
+        defer_release=defer_release,
+        admin_token=getattr(args, "admin_token", None),
     )
     return app, context
 
@@ -1031,14 +1103,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         args, clock=_time.monotonic, sleep=_time.sleep if chaos.enabled else None,
         defer_release=False,
     )
-    front_ends = []
+    front_ends = {}
     if args.microbatch:
         from repro.core.batch import MicroBatchLinker
         from repro.core.microbatch import MicroBatchFrontEnd
         from repro.core.parallel import ParallelBatchLinker
 
-        for name in app.registry.names():
-            tenant = app.registry.get(name)
+        def _attach(tenant) -> None:
             config = tenant.linker.config
             if config.batch_dispatch(config.microbatch_max_batch, args.batch_workers) == "pool":
                 backend: object = ParallelBatchLinker(
@@ -1049,16 +1120,33 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             front_end = MicroBatchFrontEnd.from_config(backend, config)
             front_end.start()
             tenant.batcher = front_end
-            front_ends.append((front_end, backend))
+            front_ends[tenant.name] = (front_end, backend)
+
+        def _detach(tenant) -> None:
+            tenant.batcher = None
+            entry = front_ends.pop(tenant.name, None)
+            if entry is not None:
+                front_end, backend = entry
+                front_end.stop()
+                if hasattr(backend, "close"):
+                    backend.close()
+
+        for name in app.registry.names():
+            _attach(app.registry.get(name))
+        # Hot-churned tenants get the same coalescer wiring as boot-time
+        # ones, attached/torn down by the admin endpoint's hooks.
+        app.tenant_added_hook = _attach
+        app.tenant_removed_hook = _detach
     print(
         f"serving tenants {', '.join(app.registry.names())} "
         f"on http://{args.host}:{args.port} (chaos={'on' if chaos.enabled else 'off'}"
-        f"{', microbatch' if args.microbatch else ''})"
+        f"{', microbatch' if args.microbatch else ''}"
+        f"{', admin' if args.admin_token else ''})"
     )
     try:
         serve_forever(app, host=args.host, port=args.port)
     finally:
-        for front_end, backend in front_ends:
+        for front_end, backend in list(front_ends.values()):
             front_end.stop()
             if hasattr(backend, "close"):
                 backend.close()
@@ -1068,12 +1156,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 def _cmd_load(args: argparse.Namespace) -> int:
     import json as _json
 
+    from repro.serve.client import run_http
     from repro.serve.load import (
         LoadProfile,
         VirtualClock,
         generate_requests,
         queries_from_dataset,
-        run_http,
         run_inprocess,
     )
     from repro.serve.report import validate_load_document
@@ -1099,9 +1187,13 @@ def _cmd_load(args: argparse.Namespace) -> int:
                              complement_method="truth").test_dataset
         )
         planned = generate_requests(
-            args.seed, args.requests, profile, [s.name for s in specs], queries
+            args.seed, args.requests, profile, [s.name for s in specs], queries,
+            arrivals=args.arrivals,
         )
-        document = run_http(args.url, planned, args.seed, profile, chaos_meta)
+        document = run_http(
+            args.url, planned, args.seed, profile, chaos_meta,
+            pool_size=args.pool,
+        )
     else:
         clock = VirtualClock()
         app, context = _build_serve_app(
@@ -1109,7 +1201,8 @@ def _cmd_load(args: argparse.Namespace) -> int:
         )
         queries = queries_from_dataset(context.test_dataset)
         planned = generate_requests(
-            args.seed, args.requests, profile, [s.name for s in specs], queries
+            args.seed, args.requests, profile, [s.name for s in specs], queries,
+            arrivals=args.arrivals,
         )
         document = run_inprocess(
             app, clock, planned, args.seed, profile, chaos_meta,
@@ -1136,6 +1229,12 @@ def _cmd_load(args: argparse.Namespace) -> int:
         _log.error(
             "%d unhandled responses (internal or connection errors) — "
             "the serving layer must degrade, never crash", document["unhandled"],
+        )
+        return 1
+    if document["invalid_error_bodies"]:
+        _log.error(
+            "%d rejection bodies failed the error schema — every 4xx/5xx "
+            "must stay typed under load", document["invalid_error_bodies"],
         )
         return 1
     return 0

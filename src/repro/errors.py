@@ -153,6 +153,15 @@ class NotFoundError(ServeError):
     kind = "not_found"
 
 
+class UnauthorizedError(ServeError):
+    """The request hit an authenticated endpoint (the tenant admin API)
+    without a valid bearer token.  Deliberately message-stable: the body
+    never echoes what credential was presented."""
+
+    status = 401
+    kind = "unauthorized"
+
+
 class RateLimitedError(ServeError):
     """The tenant's token bucket is empty — per-tenant admission control
     rejected the request before any work was queued (HTTP 429)."""

@@ -1,20 +1,27 @@
 """HTTP/JSON serving front end over the resilient linker.
 
 ``repro serve`` hosts per-tenant linker namespaces behind a pure-stdlib
-HTTP server with token-bucket rate limits and a load-shedding admission
-controller; ``repro load`` replays seeded bursty traffic against it (or
-against the in-process app, deterministically) and emits a schema-stable
-report.  See ``docs/serving.md``.
+HTTP server with token-bucket rate limits and classed, load-shedding
+admission control, plus an authenticated admin endpoint for tenant
+hot-add/remove; ``repro load`` replays seeded bursty traffic against it
+— concurrently over sockets (:mod:`repro.serve.client`) or in-process
+and deterministically (:mod:`repro.serve.load`) — and emits one
+schema-stable report either way.  See ``docs/serving.md``.
 """
 
-from repro.serve.admission import AdmissionController
-from repro.serve.handlers import ServeApp, error_body
+from repro.serve.admission import (
+    AdmissionClass,
+    AdmissionController,
+    ClassedAdmissionController,
+)
+from repro.serve.client import run_http
+from repro.serve.handlers import ServeApp, error_body, validate_error_body
 from repro.serve.load import (
     LoadProfile,
+    OutcomeAccounting,
     VirtualClock,
     generate_requests,
     queries_from_dataset,
-    run_http,
     run_inprocess,
 )
 from repro.serve.report import (
@@ -26,6 +33,7 @@ from repro.serve.server import ReproHTTPServer, serve_forever
 from repro.serve.tenants import (
     ChaosConfig,
     Tenant,
+    TenantProvisioner,
     TenantRegistry,
     TenantSpec,
     TokenBucket,
@@ -33,13 +41,17 @@ from repro.serve.tenants import (
 )
 
 __all__ = [
+    "AdmissionClass",
     "AdmissionController",
     "ChaosConfig",
+    "ClassedAdmissionController",
     "LOAD_SCHEMA_VERSION",
     "LoadProfile",
+    "OutcomeAccounting",
     "ReproHTTPServer",
     "ServeApp",
     "Tenant",
+    "TenantProvisioner",
     "TenantRegistry",
     "TenantSpec",
     "TokenBucket",
@@ -52,5 +64,6 @@ __all__ = [
     "run_http",
     "run_inprocess",
     "serve_forever",
+    "validate_error_body",
     "validate_load_document",
 ]

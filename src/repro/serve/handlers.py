@@ -1,11 +1,12 @@
 """Transport-independent request dispatch for the serving front end.
 
-:class:`ServeApp` maps ``(method, path, body)`` to ``(status, document)``
-— no sockets, no threads.  The HTTP server (:mod:`repro.serve.server`)
-and the deterministic load harness (:mod:`repro.serve.load`) both drive
-this one dispatcher, so everything the acceptance criteria care about
-(typed error bodies, shed semantics, degradation) is exercised
-identically with and without a real network.
+:class:`ServeApp` maps ``(method, path, body, headers)`` to
+``(status, document)`` — no sockets, no threads.  The HTTP server
+(:mod:`repro.serve.server`) and the deterministic load harness
+(:mod:`repro.serve.load`) both drive this one dispatcher, so everything
+the acceptance criteria care about (typed error bodies, shed semantics,
+degradation, tenant hot-churn) is exercised identically with and
+without a real network.
 
 Error contract: every failure the app can produce is rendered by
 :func:`error_body` from a typed :class:`~repro.errors.ServeError` (or a
@@ -15,13 +16,19 @@ The body schema is append-only::
     {"schema_version": 1,
      "error": {"type": "<kind>", "status": <int>, "message": "<str>",
                "retry_after_s": <float, 429 only>}}
+
+:func:`validate_error_body` checks that shape; the concurrent load
+client applies it to every rejection it receives, so "shedding stayed
+typed under socket concurrency" is a gateable count, not an assumption.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hmac
 import json
 import time
-from typing import Callable, Dict, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.config import LinkerConfig
 from repro.core.batch import LinkRequest
@@ -32,17 +39,39 @@ from repro.errors import (
     RateLimitedError,
     ReproError,
     ServeError,
+    UnauthorizedError,
 )
 from repro.obs.metrics import METRICS, render_metrics_document
-from repro.serve.admission import AdmissionController
-from repro.serve.tenants import Tenant, TenantRegistry
+from repro.serve.admission import AdmissionController, ClassedAdmissionController
+from repro.serve.tenants import Tenant, TenantRegistry, TenantSpec
 
-__all__ = ["ServeApp", "ERROR_SCHEMA_VERSION", "LINK_SCHEMA_VERSION", "error_body"]
+__all__ = [
+    "ServeApp",
+    "ADMIN_SCHEMA_VERSION",
+    "ERROR_KINDS",
+    "ERROR_SCHEMA_VERSION",
+    "LINK_SCHEMA_VERSION",
+    "error_body",
+    "validate_error_body",
+]
 
 #: Schema versions of the response documents (append-only policy).
 ERROR_SCHEMA_VERSION = 1
 LINK_SCHEMA_VERSION = 1
 HEALTH_SCHEMA_VERSION = 1
+ADMIN_SCHEMA_VERSION = 1
+
+#: Every ``error.type`` discriminator the front end can emit.
+ERROR_KINDS = (
+    "bad_request",
+    "unknown_tenant",
+    "not_found",
+    "unauthorized",
+    "rate_limited",
+    "shed",
+    "unavailable",
+    "internal",
+)
 
 Response = Tuple[int, Dict[str, object]]
 
@@ -65,6 +94,39 @@ def error_body(error: ReproError) -> Response:
     return status, {"schema_version": ERROR_SCHEMA_VERSION, "error": payload}
 
 
+def validate_error_body(document: object) -> List[str]:
+    """Schema check on one error body; returns problems (empty = valid).
+
+    This is the per-response half of the load gate: a 4xx/5xx whose body
+    does not validate here counts as ``invalid_error_bodies`` in the
+    load report, and CI requires that count to be zero.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["error body is not a JSON object"]
+    if document.get("schema_version") != ERROR_SCHEMA_VERSION:
+        problems.append(
+            f"schema_version is {document.get('schema_version')!r}, "
+            f"expected {ERROR_SCHEMA_VERSION}"
+        )
+    error = document.get("error")
+    if not isinstance(error, dict):
+        return problems + ["missing or non-object 'error' section"]
+    kind = error.get("type")
+    if kind not in ERROR_KINDS:
+        problems.append(f"error.type {kind!r} is not a known kind")
+    status = error.get("status")
+    if not isinstance(status, int) or isinstance(status, bool):
+        problems.append("error.status missing or not an int")
+    if not isinstance(error.get("message"), str):
+        problems.append("error.message missing or not a string")
+    if kind == "rate_limited" and not isinstance(
+        error.get("retry_after_s"), (int, float)
+    ):
+        problems.append("rate_limited body missing numeric retry_after_s")
+    return problems
+
+
 class ServeApp:
     """The application behind ``repro serve``.
 
@@ -75,6 +137,8 @@ class ServeApp:
     * ``GET /healthz`` — admission, tenant, breaker and queue snapshots.
     * ``GET /metrics`` — the standard metrics document off ``repro.obs``.
     * ``GET /v1/tenants`` — hosted tenant names.
+    * ``POST /admin/v1/tenants`` / ``DELETE /admin/v1/tenants/<name>`` —
+      authenticated tenant hot-add / hot-remove (``admin_token``).
 
     ``clock`` feeds default mention timestamps and the rate/admission
     machinery; the load harness injects a virtual clock, the live CLI
@@ -83,24 +147,62 @@ class ServeApp:
     requests — the caller releases at simulated completion time, which is
     how the harness models requests that occupy the server for their full
     service time.
+
+    ``admission`` may be a :class:`ClassedAdmissionController` (tenants
+    admit under their spec's class) or a bare
+    :class:`AdmissionController`, which is wrapped as the single
+    ``default`` class for compatibility.  The admin API is disabled —
+    admin paths 404 — unless ``admin_token`` is set; requests must then
+    carry ``Authorization: Bearer <token>``.
     """
 
     def __init__(
         self,
         registry: TenantRegistry,
-        admission: Optional[AdmissionController] = None,
+        admission: Optional[
+            Union[AdmissionController, ClassedAdmissionController]
+        ] = None,
         clock: Callable[[], float] = time.monotonic,
         defer_release: bool = False,
+        admin_token: Optional[str] = None,
     ) -> None:
         self.registry = registry
-        self.admission = admission or AdmissionController()
+        if admission is None:
+            admission = ClassedAdmissionController()
+        elif isinstance(admission, AdmissionController):
+            admission = ClassedAdmissionController.single(admission)
+        self.admission = admission
         self._clock = clock
         self._defer_release = defer_release
+        self._admin_token = admin_token
+        #: Optional callables the CLI wires so hot-added/-removed tenants
+        #: get their micro-batch front ends attached and torn down.
+        self.tenant_added_hook: Optional[Callable[[Tenant], None]] = None
+        self.tenant_removed_hook: Optional[Callable[[Tenant], None]] = None
+        for tenant in registry.tenants():
+            self._require_known_class(tenant.spec)
+
+    def _require_known_class(self, spec: TenantSpec) -> None:
+        if spec.admission_class not in self.admission.names():
+            # At construction time this is a wiring error (ValueError, the
+            # CLI reports it and exits); the admin add path catches it and
+            # re-raises as a typed 400.
+            raise ValueError(  # repro: noqa[FLOW-002] -- admin add re-types this as BadRequestError; at boot it is a config error
+                f"tenant {spec.name!r} names unknown admission class "
+                f"{spec.admission_class!r} "
+                f"(configured: {', '.join(self.admission.names())})"
+            )
 
     # ------------------------------------------------------------------ #
     # dispatch
     # ------------------------------------------------------------------ #
-    def handle(self, method: str, path: str, body: Optional[bytes] = None) -> Response:
+    def handle(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes] = None,
+        headers: Optional[Dict[str, str]] = None,
+    ) -> Response:
         """Route one request; never raises for request-shaped problems.
 
         Any :class:`ReproError` becomes a typed error body; non-taxonomy
@@ -120,6 +222,8 @@ class ServeApp:
                 }
             if method == "POST" and path == "/v1/link":
                 return self._link(body)
+            if path.startswith("/admin/"):
+                return self._admin(method, path, body, headers or {})
             raise NotFoundError(f"no route for {method} {path}")
         except ReproError as error:
             status, document = error_body(error)
@@ -148,15 +252,85 @@ class ServeApp:
                 f"tenant {tenant.name!r} over its rate limit",
                 retry_after_s=tenant.bucket.retry_after(),
             )
-        self.admission.admit()
+        admission_class = tenant.spec.admission_class
+        self.admission.admit(admission_class)
         try:
             response = self._link_admitted(tenant, request)
         except Exception:  # repro: noqa[ERR-002] -- slot bookkeeping only: the slot is returned and the exception re-raised untouched, whatever its type
-            self.admission.release()
+            self.admission.release(admission_class)
             raise
         if not self._defer_release:
-            self.admission.release()
+            self.admission.release(admission_class)
         return response
+
+    # ------------------------------------------------------------------ #
+    # tenant admin (authenticated hot-add / hot-remove)
+    # ------------------------------------------------------------------ #
+    def _admin(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        headers: Dict[str, str],
+    ) -> Response:
+        if self._admin_token is None:
+            # Disabled admin surface is indistinguishable from an unknown
+            # route — no oracle for probing whether admin exists.
+            raise NotFoundError(f"no route for {method} {path}")
+        self._authorize(headers)
+        if method == "POST" and path == "/admin/v1/tenants":
+            return self._admin_add(body)
+        prefix = "/admin/v1/tenants/"
+        if method == "DELETE" and path.startswith(prefix) and path != prefix:
+            return self._admin_remove(path[len(prefix):])
+        raise NotFoundError(f"no admin route for {method} {path}")
+
+    def _authorize(self, headers: Dict[str, str]) -> None:
+        presented = headers.get("authorization", "")
+        expected = f"Bearer {self._admin_token}"
+        if not hmac.compare_digest(
+            presented.encode("utf-8"), expected.encode("utf-8")
+        ):
+            METRICS.incr("serve.admin.unauthorized")
+            raise UnauthorizedError("admin endpoint requires a valid bearer token")
+
+    def _admin_add(self, body: Optional[bytes]) -> Response:
+        spec = _parse_tenant_spec(body)
+        try:
+            self._require_known_class(spec)
+        except ValueError as error:
+            raise BadRequestError(str(error)) from error
+        provisioner = self.registry.provisioner
+        if provisioner is None:
+            raise ServeError(
+                "tenant hot-add is unavailable: this server was wired "
+                "without a provisioner"
+            )
+        tenant = provisioner.create(spec)
+        try:
+            self.registry.add(tenant)
+        except ValueError as error:
+            raise BadRequestError(str(error)) from error
+        if self.tenant_added_hook is not None:
+            self.tenant_added_hook(tenant)
+        METRICS.incr("serve.admin.tenant_added")
+        return 200, {
+            "schema_version": ADMIN_SCHEMA_VERSION,
+            "added": tenant.name,
+            "tenant": tenant.snapshot(),
+            "tenants": self.registry.names(),
+        }
+
+    def _admin_remove(self, name: str) -> Response:
+        tenant = self.registry.remove(name)
+        if self.tenant_removed_hook is not None:
+            self.tenant_removed_hook(tenant)
+        METRICS.incr("serve.admin.tenant_removed")
+        return 200, {
+            "schema_version": ADMIN_SCHEMA_VERSION,
+            "removed": name,
+            "tenants": self.registry.names(),
+        }
 
     def _link_admitted(self, tenant: Tenant, request: Dict[str, object]) -> Response:
         user = _require_int(request, "user")
@@ -202,6 +376,55 @@ def _parse_link_request(body: Optional[bytes]) -> Dict[str, object]:
         if field in request and not isinstance(request[field], (int, float)):
             raise BadRequestError(f"{field!r} must be a number")
     return request
+
+
+def _parse_tenant_spec(body: Optional[bytes]) -> TenantSpec:
+    """Parse an admin hot-add body into a :class:`TenantSpec`.
+
+    Accepts exactly the spec's fields; ``name`` is required, everything
+    else defaults as the dataclass does.  Any shape or value problem is a
+    typed 400 — the admin API never 500s on operator typos.
+    """
+    if not body:
+        raise BadRequestError("empty request body")
+    try:
+        request = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as error:
+        raise BadRequestError(f"body is not valid JSON: {error}") from error
+    if not isinstance(request, dict):
+        raise BadRequestError("body must be a JSON object")
+    if not isinstance(request.get("name"), str) or not request["name"]:
+        raise BadRequestError("'name' must be a non-empty string")
+    allowed = {field.name for field in dataclasses.fields(TenantSpec)}
+    unknown = sorted(set(request) - allowed)
+    if unknown:
+        raise BadRequestError(f"unknown tenant fields: {', '.join(unknown)}")
+    numeric = {
+        "rate": float,
+        "burst": float,
+        "deadline_ms": float,
+        "failure_threshold": int,
+        "recovery_timeout": float,
+    }
+    kwargs: Dict[str, object] = {"name": request["name"]}
+    for field, cast in numeric.items():
+        if field not in request:
+            continue
+        value = request[field]
+        if field == "deadline_ms" and value is None:
+            kwargs[field] = None
+            continue
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise BadRequestError(f"{field!r} must be a number")
+        kwargs[field] = cast(value)
+    if "admission_class" in request:
+        if not isinstance(request["admission_class"], str):
+            raise BadRequestError("'admission_class' must be a string")
+        kwargs["admission_class"] = request["admission_class"]
+    try:
+        return TenantSpec(**kwargs)  # type: ignore[arg-type]
+    except ValueError as error:
+        raise BadRequestError(str(error)) from error
 
 
 def _require_int(

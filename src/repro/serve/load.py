@@ -2,26 +2,30 @@
 
 Replays seeded bursty traffic against the serving stack and emits the
 schema-stable report of :mod:`repro.serve.report`.  Two modes share one
-traffic generator and one outcome accounting:
+traffic generator (:func:`generate_requests`), one outcome accounting
+(:class:`OutcomeAccounting`) and one report writer:
 
-* **in-process** (default): drives :class:`~repro.serve.handlers.ServeApp`
-  directly under a :class:`VirtualClock`.  Time only moves when the
-  harness moves it — arrivals advance it along the precomputed schedule,
-  injected slow-KB faults advance it mid-request — so two runs with the
-  same seed produce *byte-identical* reports, which is what the CI gate
-  diffs.  Service is modeled as a single queue: each 200 response
-  occupies the server for (chaos-visible work + a fixed service tick),
-  and the admission slot is held until that simulated completion.
-* **live HTTP** (``--url``): the same requests go over real sockets to a
-  running ``repro serve``; latency comes from ``time.monotonic`` and
-  socket-level failures are counted as ``connection_error`` (the count
-  the acceptance gate requires to be zero).
+* **in-process** (this module): drives
+  :class:`~repro.serve.handlers.ServeApp` directly under a
+  :class:`VirtualClock`.  Time only moves when the harness moves it —
+  arrivals advance it along the precomputed schedule, injected slow-KB
+  faults advance it mid-request — so two runs with the same seed produce
+  *byte-identical* reports, which is what the CI gate diffs.  Service is
+  modeled as a single queue: each 200 response occupies the server for
+  (chaos-visible work + a fixed service tick), and the admission slot is
+  held until that simulated completion.
+* **live HTTP** (:mod:`repro.serve.client`, ``--url``): the same trace
+  goes over real sockets through a concurrent open-loop client —
+  arrivals are paced against the wall clock and never gated on
+  responses, so overload actually overloads the server.
 
 Traffic profiles are seeded non-homogeneous Poisson arrivals: *diurnal*
 modulates the base rate sinusoidally, *spike* overlays square bursts,
-*bursty* (default) composes both.  A seeded slice of requests is
-malformed on purpose (bad JSON, missing fields, out-of-universe users,
-unknown tenants) to prove the error path stays typed under load.
+*bursty* (default) composes both; ``arrivals="uniform"`` swaps the
+exponential gaps for deterministic ``1/rate`` spacing (same rate shape,
+no sampling noise).  A seeded slice of requests is malformed on purpose
+(bad JSON, missing fields, out-of-universe users, unknown tenants) to
+prove the error path stays typed under load.
 """
 
 from __future__ import annotations
@@ -31,19 +35,20 @@ import heapq
 import json
 import math
 import random
-import time
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.log import get_logger
-from repro.serve.handlers import ServeApp
+from repro.serve.handlers import ServeApp, validate_error_body
 from repro.serve.report import build_load_document, zero_outcomes
 
 __all__ = [
     "LoadProfile",
+    "OutcomeAccounting",
+    "PlannedRequest",
     "VirtualClock",
+    "classify_outcome",
     "generate_requests",
     "run_inprocess",
-    "run_http",
 ]
 
 _log = get_logger(__name__)
@@ -104,6 +109,9 @@ class LoadProfile:
 
 PROFILE_NAMES = ("diurnal", "spike", "bursty")
 
+#: Arrival-gap models :func:`generate_requests` supports.
+ARRIVAL_MODES = ("poisson", "uniform")
+
 #: Request-level corruption modes the malformed slice cycles through.
 MALFORMED_MODES = (
     "bad_json",
@@ -163,26 +171,38 @@ def generate_requests(
     profile: LoadProfile,
     tenants: List[str],
     queries: List[Tuple[str, int, float]],
+    arrivals: str = "poisson",
 ) -> List[PlannedRequest]:
     """The seeded request trace: arrival instants plus request payloads.
 
     ``queries`` are ``(surface, user, now)`` triples sampled from the
     world's own test split, so every well-formed request is answerable.
     The trace depends only on the arguments — same inputs, same bytes.
+    ``arrivals="poisson"`` draws exponential gaps (the default, and the
+    byte-identical pre-v2 behaviour); ``"uniform"`` spaces arrivals
+    deterministically at ``1/rate`` so socket runs can separate queueing
+    effects from sampling noise.
     """
     if not queries:
         raise ValueError("cannot generate load without any queries")
     if count < 1:
         raise ValueError("count must be at least 1")
+    if arrivals not in ARRIVAL_MODES:
+        raise ValueError(
+            f"unknown arrivals mode {arrivals!r} (expected one of {ARRIVAL_MODES})"
+        )
     rng = random.Random(seed)
     planned: List[PlannedRequest] = []
     t = 0.0
     for index in range(count):
-        # Non-homogeneous Poisson by rate-inversion on the current rate:
-        # adequate for a piecewise-slowly-varying profile and exactly
-        # reproducible, which is the property the gate cares about.
-        u = rng.random()
-        t += -math.log(1.0 - u) / profile.rate_at(t)
+        if arrivals == "poisson":
+            # Non-homogeneous Poisson by rate-inversion on the current
+            # rate: adequate for a piecewise-slowly-varying profile and
+            # exactly reproducible, which is what the gate cares about.
+            u = rng.random()
+            t += -math.log(1.0 - u) / profile.rate_at(t)
+        else:
+            t += 1.0 / profile.rate_at(t)
         surface, user, now = queries[rng.randrange(len(queries))]
         tenant = tenants[rng.randrange(len(tenants))]
         if rng.random() < profile.malformed_rate:
@@ -216,7 +236,8 @@ def queries_from_dataset(dataset, limit: int = 512) -> List[Tuple[str, int, floa
     return queries
 
 
-def _classify(status: int, document: Dict[str, object]) -> str:
+def classify_outcome(status: int, document: Dict[str, object]) -> str:
+    """Map one ``(status, body)`` pair to its report outcome label."""
     if status == 200:
         outcome = document.get("outcome")
         return outcome if isinstance(outcome, str) else "ok"
@@ -226,13 +247,15 @@ def _classify(status: int, document: Dict[str, object]) -> str:
     return "internal"
 
 
-class _Accounting:
-    """Outcome counters shared by both modes."""
+class OutcomeAccounting:
+    """Outcome and latency counters shared by both load modes."""
 
     def __init__(self) -> None:
         self.outcomes = zero_outcomes()
         self.by_tenant: Dict[str, Dict[str, int]] = {}
         self.latencies_s: List[float] = []
+        self.tenant_latencies_s: Dict[str, List[float]] = {}
+        self.invalid_error_bodies = 0
 
     def record(
         self, request: PlannedRequest, outcome: str, latency_s: Optional[float]
@@ -245,6 +268,15 @@ class _Accounting:
             per[outcome] = per.get(outcome, 0) + 1
         if latency_s is not None:
             self.latencies_s.append(latency_s)
+            if request.tenant is not None:
+                self.tenant_latencies_s.setdefault(request.tenant, []).append(
+                    latency_s
+                )
+
+    def check_error_body(self, document: Dict[str, object]) -> None:
+        """Validate one rejection body; invalid shapes are a gated count."""
+        if validate_error_body(document):
+            self.invalid_error_bodies += 1
 
 
 def run_inprocess(
@@ -262,19 +294,20 @@ def run_inprocess(
     ``clock``: each admitted request holds its admission slot until its
     simulated completion instant, so sustained overload fills the bounded
     queue and sheds — exactly the behaviour the live server shows, minus
-    the nondeterminism of real threads.
+    the nondeterminism of real threads.  Slots are released back to the
+    admission class the request was admitted under.
     """
-    accounting = _Accounting()
-    completions: List[float] = []
+    accounting = OutcomeAccounting()
+    completions: List[Tuple[float, str]] = []
     server_free_at = 0.0
     service_tick = service_tick_ms / 1000.0
     run_started = clock()
     for request in planned:
         clock.advance_to(request.at)
         now = clock()
-        while completions and completions[0] <= now:
-            heapq.heappop(completions)
-            app.admission.release()
+        while completions and completions[0][0] <= now:
+            _, admission_class = heapq.heappop(completions)
+            app.admission.release(admission_class)
         started = clock()
         try:
             status, document = app.handle(request.method, request.path, request.body)
@@ -283,18 +316,22 @@ def run_inprocess(
             accounting.record(request, "internal", None)
             continue
         work = (clock() - started) + service_tick
-        outcome = _classify(status, document)
+        outcome = classify_outcome(status, document)
         if status == 200:
+            admission_class = app.registry.get(
+                str(request.tenant)
+            ).spec.admission_class
             start = max(now, server_free_at)
             finish = start + work
             server_free_at = finish
-            heapq.heappush(completions, finish)
+            heapq.heappush(completions, (finish, admission_class))
             accounting.record(request, outcome, latency_s=finish - now)
         else:
+            accounting.check_error_body(document)
             accounting.record(request, outcome, latency_s=None)
     while completions:
-        heapq.heappop(completions)
-        app.admission.release()
+        _, admission_class = heapq.heappop(completions)
+        app.admission.release(admission_class)
     duration = clock() - run_started
     return build_load_document(
         mode="inprocess",
@@ -305,67 +342,6 @@ def run_inprocess(
         by_tenant=accounting.by_tenant,
         latencies_s=accounting.latencies_s,
         duration_s=duration,
-    )
-
-
-def run_http(
-    url: str,
-    planned: List[PlannedRequest],
-    seed: int,
-    profile: LoadProfile,
-    chaos_meta: Dict[str, object],
-    timeout_s: float = 10.0,
-    clock: Callable[[], float] = time.monotonic,
-) -> Dict[str, object]:
-    """Replay the same trace over real sockets against a live server.
-
-    Requests are issued sequentially at full speed (the schedule fixes
-    order and mix; pacing against wall clock would only add noise).
-    Socket-level failures become ``connection_error`` — under the
-    acceptance gate a chaos-loaded server must never produce one.
-    """
-    import http.client
-    import urllib.parse
-
-    parsed = urllib.parse.urlsplit(url)
-    if parsed.scheme != "http" or not parsed.hostname:
-        raise ValueError(f"expected an http://host:port url, got {url!r}")
-    port = parsed.port or 80
-    accounting = _Accounting()
-    started_run = clock()
-    for request in planned:
-        started = clock()
-        try:
-            connection = http.client.HTTPConnection(
-                parsed.hostname, port, timeout=timeout_s
-            )
-            try:
-                headers = {"Content-Type": "application/json"}
-                connection.request(
-                    request.method, request.path, body=request.body, headers=headers
-                )
-                response = connection.getresponse()
-                payload = response.read()
-            finally:
-                connection.close()
-            document = json.loads(payload.decode("utf-8"))
-            outcome = _classify(response.status, document)
-        except (OSError, ValueError) as error:
-            _log.warning("connection error on %s: %s", request.path, error)
-            accounting.record(request, "connection_error", None)
-            continue
-        latency = clock() - started
-        accounting.record(
-            request, outcome, latency_s=latency if response.status == 200 else None
-        )
-    duration = clock() - started_run
-    return build_load_document(
-        mode="http",
-        seed=seed,
-        profile=profile.name,
-        chaos=chaos_meta,
-        outcomes=accounting.outcomes,
-        by_tenant=accounting.by_tenant,
-        latencies_s=accounting.latencies_s,
-        duration_s=duration,
+        tenant_latencies_s=accounting.tenant_latencies_s,
+        invalid_error_bodies=accounting.invalid_error_bodies,
     )

@@ -50,6 +50,9 @@ class _Handler(BaseHTTPRequestHandler):
     def do_GET(self) -> None:  # noqa: N802 - http.server API
         self._dispatch("GET", body=None)
 
+    def do_DELETE(self) -> None:  # noqa: N802 - http.server API
+        self._dispatch("DELETE", body=None)
+
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         length = int(self.headers.get("Content-Length", 0) or 0)
         if length > MAX_BODY_BYTES:
@@ -73,7 +76,8 @@ class _Handler(BaseHTTPRequestHandler):
 
     def _dispatch(self, method: str, body: Optional[bytes]) -> None:
         try:
-            status, document = self.app.handle(method, self.path, body)
+            headers = {key.lower(): value for key, value in self.headers.items()}
+            status, document = self.app.handle(method, self.path, body, headers)
             payload = json.dumps(document, sort_keys=True).encode("utf-8")
         except Exception as error:  # repro: noqa[ERR-002] -- outermost HTTP boundary: a non-taxonomy bug must become a typed 500 body, never a dropped connection
             _log.exception("unhandled error serving %s %s", method, self.path)

@@ -30,6 +30,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only, avoids a runtime cycle
 __all__ = [
     "ChaosConfig",
     "Tenant",
+    "TenantProvisioner",
     "TenantRegistry",
     "TenantSpec",
     "TokenBucket",
@@ -111,10 +112,15 @@ class TenantSpec:
     #: short load run rather than a production-scale 30 s.
     failure_threshold: int = 5
     recovery_timeout: float = 5.0
+    #: Admission class the tenant's link requests admit under
+    #: (:mod:`repro.serve.admission`); must name a configured class.
+    admission_class: str = "default"
 
     def __post_init__(self) -> None:
-        if not self.name or "/" in self.name:
+        if not self.name or any(sep in self.name for sep in ",=:/"):
             raise ValueError(f"invalid tenant name {self.name!r}")
+        if not self.admission_class:
+            raise ValueError("admission_class must be non-empty")
 
 
 @dataclasses.dataclass(frozen=True)
@@ -174,6 +180,7 @@ class Tenant:
         """Schema-stable tenant state for ``/healthz``."""
         return {
             "name": self.name,
+            "admission_class": self.spec.admission_class,
             "requests": self.requests,
             "ratelimited": self.ratelimited,
             "confirmed_links": self.linker.ckb.total_links,
@@ -183,34 +190,170 @@ class Tenant:
 
 
 class TenantRegistry:
-    """Name → :class:`Tenant` lookup with a typed miss."""
+    """Name → :class:`Tenant` lookup with a typed miss.
+
+    The tenant map is mutable at runtime — the admin endpoint hot-adds
+    and hot-removes namespaces while the threaded HTTP server keeps
+    answering — so every access goes through one lock.  Requests that
+    already resolved their :class:`Tenant` keep using it after a remove
+    (its linker, bucket and breaker stay functional); only *new* lookups
+    see the typed 404.
+    """
 
     def __init__(self, tenants: List[Tenant]) -> None:
         if not tenants:
             raise ValueError("a server needs at least one tenant")
+        self._lock = threading.RLock()
         self._tenants: Dict[str, Tenant] = {}
+        #: Optional :class:`TenantProvisioner` (set by
+        #: :func:`build_tenant_registry`) that the admin endpoint uses to
+        #: wire brand-new namespaces over the shared world.
+        self.provisioner: Optional["TenantProvisioner"] = None
         for tenant in tenants:
             if tenant.name in self._tenants:
                 raise ValueError(f"duplicate tenant name {tenant.name!r}")
             self._tenants[tenant.name] = tenant
 
     def get(self, name: str) -> Tenant:
-        tenant = self._tenants.get(name)
-        if tenant is None:
-            raise UnknownTenantError(
-                f"tenant {name!r} is not hosted here "
-                f"(hosted: {', '.join(self.names())})"
-            )
-        return tenant
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is None:
+                raise UnknownTenantError(
+                    f"tenant {name!r} is not hosted here "
+                    f"(hosted: {', '.join(sorted(self._tenants))})"
+                )
+            return tenant
+
+    def add(self, tenant: Tenant) -> None:
+        """Hot-add a tenant; duplicate names are a caller error."""
+        with self._lock:
+            if tenant.name in self._tenants:
+                raise ValueError(f"duplicate tenant name {tenant.name!r}")
+            self._tenants[tenant.name] = tenant
+
+    def remove(self, name: str) -> Tenant:
+        """Hot-remove and return a tenant; unknown names get a typed 404."""
+        with self._lock:
+            tenant = self._tenants.pop(name, None)
+            if tenant is None:
+                raise UnknownTenantError(
+                    f"tenant {name!r} is not hosted here "
+                    f"(hosted: {', '.join(sorted(self._tenants))})"
+                )
+            return tenant
 
     def names(self) -> List[str]:
-        return sorted(self._tenants)
+        with self._lock:
+            return sorted(self._tenants)
 
     def tenants(self) -> List[Tenant]:
-        return [self._tenants[name] for name in self.names()]
+        with self._lock:
+            return [self._tenants[name] for name in sorted(self._tenants)]
 
     def snapshot(self) -> List[Dict[str, object]]:
         return [tenant.snapshot() for tenant in self.tenants()]
+
+
+class TenantProvisioner:
+    """Builds fully wired tenant namespaces over one shared world.
+
+    The heavy read-side structures (reachability provider, recency
+    propagation network, dataset catalog) are captured once; every
+    :meth:`create` call wires a fresh namespace — its own complemented
+    KB, breaker, deadline budget, token bucket and (under chaos) its own
+    seeded fault schedule.  The admin endpoint uses the same provisioner
+    at runtime, so a hot-added tenant is indistinguishable from a
+    boot-time one.
+
+    Chaos seeds derive from a monotone per-provisioner counter: boot
+    tenants take indexes 0..n-1 in spec order (exactly the pre-refactor
+    assignment, keeping seeded replays byte-identical) and each hot-add
+    takes the next index, so churn never re-deals an existing schedule.
+    """
+
+    def __init__(
+        self,
+        world,
+        context,
+        base_config: LinkerConfig,
+        clock: Callable[[], float],
+        chaos: Optional[ChaosConfig],
+        sleep: Optional[Callable[[float], None]],
+        threshold: int,
+    ) -> None:
+        self._world = world
+        self._context = context
+        self._config = base_config
+        self._clock = clock
+        self._chaos = chaos
+        self._sleep = sleep
+        self._threshold = threshold
+        self._propagation = (
+            context.propagation_network if base_config.recency_propagation else None
+        )
+        self._next_index = 0
+        self._lock = threading.Lock()
+
+    def create(self, spec: TenantSpec) -> Tenant:
+        """Wire one tenant namespace from its spec."""
+        with self._lock:
+            index = self._next_index
+            self._next_index += 1
+        from repro.eval.context import complement_knowledgebase
+
+        provider = self._context.closure
+        if self._chaos is not None and self._chaos.enabled:
+            # Lazy import: repro.testing is opt-in wiring, never a cost of
+            # the fault-free serving path.
+            from repro.testing.faults import FaultSchedule, FlakyReachabilityProvider
+
+            clock_shim = _AdvanceShim(self._clock, self._sleep)
+            provider = FlakyReachabilityProvider(
+                self._context.closure,
+                schedule=FaultSchedule(
+                    seed=self._chaos.seed * 1000 + index,
+                    error_rate=self._chaos.error_rate,
+                ),
+                clock=clock_shim if clock_shim.advances else None,
+                slow_schedule=FaultSchedule(
+                    seed=self._chaos.seed * 1000 + index + 500,
+                    error_rate=self._chaos.slow_rate,
+                ),
+                slow_latency=self._chaos.slow_ms / 1000.0,
+                sleep=self._sleep,
+            )
+        tenant_ckb = complement_knowledgebase(
+            self._world,
+            self._context.catalog.dataset(self._threshold),
+            method="truth",
+        )
+        tenant_config = dataclasses.replace(
+            self._config, deadline_ms=spec.deadline_ms
+        )
+        breaker = CircuitBreaker(
+            failure_threshold=spec.failure_threshold,
+            recovery_timeout=spec.recovery_timeout,
+            clock=self._clock,
+        )
+        linker = SocialTemporalLinker(
+            tenant_ckb,
+            self._world.graph,
+            config=tenant_config,
+            reachability=provider,
+            propagation_network=self._propagation,
+            breaker=breaker,
+            clock=self._clock,
+        )
+        bucket = TokenBucket(
+            rate=spec.rate, capacity=spec.burst, clock=self._clock
+        )
+        return Tenant(
+            spec=spec,
+            linker=linker,
+            breaker=breaker,
+            bucket=bucket,
+            num_users=self._world.num_users,
+        )
 
 
 def build_tenant_registry(
@@ -224,79 +367,29 @@ def build_tenant_registry(
 ) -> Tuple[TenantRegistry, object]:
     """Wire one tenant per spec over a shared world.
 
-    The heavy read-side structures (reachability closure, recency
-    propagation network) are built once and shared; each tenant gets its
-    own complemented KB (truth-complemented for fast startup), breaker,
-    deadline budget, and — under ``chaos`` — its own seeded fault
-    schedule wrapping the shared provider.
-
     Returns ``(registry, context)``; the context is handed back so
     callers can reuse the catalog (e.g. the load harness samples request
-    surfaces from the same test split the tenants were built from).
+    surfaces from the same test split the tenants were built from).  The
+    registry carries the :class:`TenantProvisioner` it was built with, so
+    the admin endpoint can hot-add namespaces over the same shared world.
     """
-    import dataclasses as _dc
-
-    from repro.eval.context import build_experiment, complement_knowledgebase
+    from repro.eval.context import build_experiment
 
     context = build_experiment(
         world=world, threshold=threshold, complement_method="truth"
     )
-    base_config = config or context.config
-    shared_provider = context.closure
-    propagation = (
-        context.propagation_network if base_config.recency_propagation else None
+    provisioner = TenantProvisioner(
+        world,
+        context,
+        base_config=config or context.config,
+        clock=clock,
+        chaos=chaos,
+        sleep=sleep,
+        threshold=threshold,
     )
-
-    tenants: List[Tenant] = []
-    for index, spec in enumerate(specs):
-        provider = shared_provider
-        if chaos is not None and chaos.enabled:
-            # Lazy import: repro.testing is opt-in wiring, never a cost of
-            # the fault-free serving path.
-            from repro.testing.faults import FaultSchedule, FlakyReachabilityProvider
-
-            clock_shim = _AdvanceShim(clock, sleep)
-            provider = FlakyReachabilityProvider(
-                shared_provider,
-                schedule=FaultSchedule(
-                    seed=chaos.seed * 1000 + index, error_rate=chaos.error_rate
-                ),
-                clock=clock_shim if clock_shim.advances else None,
-                slow_schedule=FaultSchedule(
-                    seed=chaos.seed * 1000 + index + 500, error_rate=chaos.slow_rate
-                ),
-                slow_latency=chaos.slow_ms / 1000.0,
-                sleep=sleep,
-            )
-        tenant_ckb = complement_knowledgebase(
-            world, context.catalog.dataset(threshold), method="truth"
-        )
-        tenant_config = _dc.replace(base_config, deadline_ms=spec.deadline_ms)
-        breaker = CircuitBreaker(
-            failure_threshold=spec.failure_threshold,
-            recovery_timeout=spec.recovery_timeout,
-            clock=clock,
-        )
-        linker = SocialTemporalLinker(
-            tenant_ckb,
-            world.graph,
-            config=tenant_config,
-            reachability=provider,
-            propagation_network=propagation,
-            breaker=breaker,
-            clock=clock,
-        )
-        bucket = TokenBucket(rate=spec.rate, capacity=spec.burst, clock=clock)
-        tenants.append(
-            Tenant(
-                spec=spec,
-                linker=linker,
-                breaker=breaker,
-                bucket=bucket,
-                num_users=world.num_users,
-            )
-        )
-    return TenantRegistry(tenants), context
+    registry = TenantRegistry([provisioner.create(spec) for spec in specs])
+    registry.provisioner = provisioner
+    return registry, context
 
 
 class _AdvanceShim:

@@ -279,8 +279,9 @@ class TestServeApp:
         assert doc["status"] == "ok"
         assert set(doc["admission"]) == {
             "capacity", "queue_limit", "pending", "peak_pending",
-            "admitted", "shed",
+            "admitted", "shed", "classes",
         }
+        assert set(doc["admission"]["classes"]) == {"default"}
         names = [tenant["name"] for tenant in doc["tenants"]]
         assert names == ["alpha", "beta"]
         for tenant in doc["tenants"]:
@@ -381,7 +382,7 @@ class TestHTTPSmoke:
     def test_non_taxonomy_bug_becomes_typed_internal_body(self, http_server):
         server, app, _ = http_server
 
-        def explode(method, path, body=None):
+        def explode(method, path, body=None, headers=None):
             raise RuntimeError("planted bug")
 
         original = app.handle
